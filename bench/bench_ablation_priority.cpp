@@ -1,0 +1,78 @@
+// A2 — ablation of the per-path list-scheduling priority function (the
+// companion report [5] uses critical-path priorities). We compare the
+// delta_M obtained with critical-path, static task-order and random
+// priorities on the Fig. 5 workload: worse per-path schedules inflate the
+// bound every merge result is measured against.
+#include <iostream>
+
+#include "gen/arch_gen.hpp"
+#include "gen/random_cpg.hpp"
+#include "sched/driver.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table_format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cps;
+  CliParser cli("list-scheduler priority ablation");
+  cli.add_flag("graphs", "32", "number of random graphs");
+  cli.add_flag("nodes", "80", "graph size");
+  cli.add_flag("paths", "12", "alternative paths per graph");
+  cli.add_flag("seed", "3", "base random seed");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto graphs = static_cast<std::size_t>(cli.get_int("graphs"));
+
+  const PriorityPolicy policies[] = {PriorityPolicy::kCriticalPath,
+                                     PriorityPolicy::kTaskOrder,
+                                     PriorityPolicy::kRandom};
+
+  // delta_M per policy, averaged over the population; critical-path is
+  // the reference (ratio 1.0).
+  std::vector<StatAccumulator> delta(std::size(policies));
+  std::vector<StatAccumulator> ratio(std::size(policies));
+
+  std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  for (std::size_t i = 0; i < graphs; ++i) {
+    Rng rng(++seed);
+    const Architecture arch = generate_random_architecture(rng);
+    RandomCpgParams params;
+    params.process_count = static_cast<std::size_t>(cli.get_int("nodes"));
+    params.path_count = static_cast<std::size_t>(cli.get_int("paths"));
+    const Cpg g = generate_random_cpg(arch, params, rng);
+    const FlatGraph fg = FlatGraph::expand(g);
+    const auto alt = enumerate_paths(g);
+
+    std::vector<Time> dm(std::size(policies), 0);
+    for (std::size_t pi = 0; pi < std::size(policies); ++pi) {
+      Rng prio_rng(1234);
+      for (const AltPath& path : alt) {
+        const PathSchedule s =
+            schedule_path(fg, path, policies[pi], &prio_rng);
+        dm[pi] = std::max(dm[pi], s.delay(fg));
+      }
+      delta[pi].add(static_cast<double>(dm[pi]));
+    }
+    for (std::size_t pi = 0; pi < std::size(policies); ++pi) {
+      ratio[pi].add(static_cast<double>(dm[pi]) /
+                    static_cast<double>(dm[0]));
+    }
+  }
+
+  AsciiTable table("A2 — per-path scheduling priority ablation (" +
+                   std::to_string(graphs) + " graphs)");
+  table.header({"priority policy", "avg delta_M", "avg ratio vs critical",
+                "worst ratio"});
+  for (std::size_t pi = 0; pi < std::size(policies); ++pi) {
+    table.cell(to_string(policies[pi]))
+        .cell(delta[pi].mean(), 1)
+        .cell(ratio[pi].mean(), 3)
+        .cell(ratio[pi].max(), 3);
+    table.end_row();
+  }
+  std::cout << "=== A2: list-scheduler priority ablation ===\n\n";
+  table.render(std::cout);
+  std::cout << "\nexpected: critical-path priorities give the shortest "
+               "per-path schedules; the\nuninformed policies trail by a "
+               "visible margin.\n";
+  return 0;
+}

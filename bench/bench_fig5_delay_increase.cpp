@@ -1,0 +1,106 @@
+// E4 — Fig. 5: percentage increase of the worst case delay delta_max over
+// the longest-path bound delta_M, as a function of the number of merged
+// schedules (10, 12, 18, 24, 32) for graphs of 60, 80 and 120 nodes.
+//
+// The paper uses 1080 graphs (360 per node count, i.e. 72 per cell),
+// uniform and exponential execution times, and architectures of one ASIC,
+// 1..11 processors and 1..8 buses. The full population takes a few
+// minutes; the default here is a representative subsample. Run with
+// --graphs 72 to regenerate the paper-sized experiment.
+//
+// Paper reference: average increase between 0.1% and 7.63%, growing with
+// the number of merged schedules and nearly independent of the node
+// count; zero increase for 90/82/57/46/33 percent of the graphs with
+// 10/12/18/24/32 alternative paths.
+#include <iostream>
+
+#include "gen/arch_gen.hpp"
+#include "gen/random_cpg.hpp"
+#include "sched/driver.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table_format.hpp"
+
+namespace {
+
+using namespace cps;
+
+constexpr std::size_t kNodeCounts[] = {60, 80, 120};
+constexpr std::size_t kPathCounts[] = {10, 12, 18, 24, 32};
+
+void run_population(std::size_t graphs_per_cell, std::uint64_t seed,
+                    PriorityPolicy path_priority, const char* title_suffix) {
+  AsciiTable increase(
+      std::string("Fig. 5 — average increase of delta_max over delta_M "
+                  "(%) ") + title_suffix);
+  AsciiTable zero(std::string("Fraction of graphs with zero increase (%) ") +
+                  title_suffix + " [paper: 90/82/57/46/33 by path count]");
+  std::vector<std::string> head{"nodes \\ merged schedules"};
+  for (std::size_t p : kPathCounts) head.push_back(std::to_string(p));
+  increase.header(head);
+  zero.header(head);
+
+  for (std::size_t nodes : kNodeCounts) {
+    std::vector<std::string> inc_row{std::to_string(nodes)};
+    std::vector<std::string> zero_row{std::to_string(nodes)};
+    for (std::size_t paths : kPathCounts) {
+      StatAccumulator acc;
+      for (std::size_t i = 0; i < graphs_per_cell; ++i) {
+        Rng rng(++seed);
+        const Architecture arch = generate_random_architecture(rng);
+        RandomCpgParams params;
+        params.process_count = nodes;
+        params.path_count = paths;
+        // Half the population uses exponential execution times (paper §6).
+        params.distribution = i % 2 == 0 ? TimeDistribution::kUniform
+                                         : TimeDistribution::kExponential;
+        const Cpg g = generate_random_cpg(arch, params, rng);
+        CoSynthesisOptions options;
+        options.validate = false;  // validated exhaustively in the tests
+        options.path_priority = path_priority;
+        const CoSynthesisResult r = schedule_cpg(g, options);
+        acc.add(r.delays.increase_percent);
+      }
+      inc_row.push_back(format_double(acc.mean(), 2));
+      zero_row.push_back(format_double(
+          100.0 * acc.fraction([](double x) { return x == 0.0; }), 0));
+    }
+    increase.add_row(inc_row);
+    zero.add_row(zero_row);
+  }
+  increase.render(std::cout);
+  std::cout << '\n';
+  zero.render(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("Fig. 5: increase of delta_max over delta_M");
+  cli.add_flag("graphs", "16", "graphs per (nodes, paths) cell (paper: 72)");
+  cli.add_flag("seed", "1", "base random seed");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto graphs_per_cell =
+      static_cast<std::size_t>(cli.get_int("graphs"));
+  const auto base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::cout << "=== E4: Fig. 5 reproduction (" << graphs_per_cell
+            << " graphs per cell) ===\n\n";
+  run_population(graphs_per_cell, base_seed, PriorityPolicy::kCriticalPath,
+                 "[critical-path per-path schedules]");
+  std::cout <<
+      "With uniform critical-path list scheduling the per-path schedules "
+      "are mutually\nconsistent and the merge almost never perturbs any "
+      "path (increase ~0, stronger\nthan the paper's 0.1%..7.63%). The "
+      "paper's per-path optimizer produces more\ndivergent schedules; the "
+      "variant below emulates that by scheduling each path\nwith "
+      "independent random priorities, exposing the same trend as Fig. 5 "
+      "(increase\ngrows with the number of merged schedules, roughly "
+      "independent of node count):\n\n";
+  run_population(graphs_per_cell, base_seed + 7777,
+                 PriorityPolicy::kRandom,
+                 "[divergent per-path schedules]");
+  return 0;
+}

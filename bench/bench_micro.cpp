@@ -1,0 +1,94 @@
+// Microbenchmarks (google-benchmark) of the hot primitives: cube algebra,
+// DNF cover checks, guard evaluation, per-path list scheduling and the
+// full merge on the Fig. 1 model and generated graphs.
+#include <benchmark/benchmark.h>
+
+#include "gen/arch_gen.hpp"
+#include "gen/random_cpg.hpp"
+#include "models/fig1.hpp"
+#include "sched/driver.hpp"
+
+namespace {
+
+using namespace cps;
+
+void BM_CubeConjoin(benchmark::State& state) {
+  const Cube a({Literal{0, true}, Literal{2, false}, Literal{5, true}});
+  const Cube b({Literal{1, true}, Literal{2, false}, Literal{7, false}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.conjoin(b));
+  }
+}
+BENCHMARK(BM_CubeConjoin);
+
+void BM_CubeCompatible(benchmark::State& state) {
+  const Cube a({Literal{0, true}, Literal{2, false}, Literal{5, true}});
+  const Cube b({Literal{2, true}, Literal{5, true}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compatible(b));
+  }
+}
+BENCHMARK(BM_CubeCompatible);
+
+void BM_DnfCoveredByContext(benchmark::State& state) {
+  // The X_P17-style tautology check.
+  const Dnf guard = Dnf(Cube({Literal{0, true}, Literal{1, true}}))
+                        .or_cube(Cube({Literal{0, true}, Literal{1, false}}))
+                        .or_cube(Cube(Literal{0, false}));
+  const Cube context(Literal{2, true});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(guard.covered_by_context(context));
+  }
+}
+BENCHMARK(BM_DnfCoveredByContext);
+
+void BM_EnumeratePathsFig1(benchmark::State& state) {
+  const Cpg g = build_fig1_cpg();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_paths(g));
+  }
+}
+BENCHMARK(BM_EnumeratePathsFig1);
+
+void BM_SchedulePathFig1(benchmark::State& state) {
+  const Cpg g = build_fig1_cpg();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_path(fg, paths.front()));
+  }
+}
+BENCHMARK(BM_SchedulePathFig1);
+
+void BM_MergeFig1(benchmark::State& state) {
+  const Cpg g = build_fig1_cpg();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+  std::vector<PathSchedule> schedules;
+  for (const AltPath& p : paths) schedules.push_back(schedule_path(fg, p));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merge_schedules(fg, paths, schedules));
+  }
+}
+BENCHMARK(BM_MergeFig1);
+
+void BM_FullFlowRandom(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  const Architecture arch = generate_random_architecture(rng);
+  RandomCpgParams params;
+  params.process_count = nodes;
+  params.path_count = 10;
+  const Cpg g = generate_random_cpg(arch, params, rng);
+  CoSynthesisOptions options;
+  options.validate = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_cpg(g, options));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_FullFlowRandom)->Arg(30)->Arg(60)->Arg(120)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

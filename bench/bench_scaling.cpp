@@ -1,0 +1,85 @@
+// S1 — component scaling: wall-clock cost of every pipeline stage
+// (expansion, path enumeration, per-path scheduling, merging, validation)
+// as the graph grows. Complements Fig. 6 with a per-stage breakdown.
+#include <chrono>
+#include <iostream>
+
+#include "gen/arch_gen.hpp"
+#include "gen/random_cpg.hpp"
+#include "sched/driver.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table_format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cps;
+  using clock = std::chrono::steady_clock;
+  CliParser cli("pipeline stage scaling");
+  cli.add_flag("graphs", "6", "graphs per size");
+  cli.add_flag("paths", "12", "alternative paths per graph");
+  cli.add_flag("seed", "5", "base random seed");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto graphs = static_cast<std::size_t>(cli.get_int("graphs"));
+  const auto paths = static_cast<std::size_t>(cli.get_int("paths"));
+
+  const std::size_t sizes[] = {40, 80, 160, 320};
+
+  AsciiTable table("S1 — pipeline stage cost (ms, averaged over " +
+                   std::to_string(graphs) + " graphs, " +
+                   std::to_string(paths) + " paths)");
+  table.header({"nodes", "expand", "enumerate", "schedule paths", "merge",
+                "validate", "tasks", "table cells"});
+
+  std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  for (std::size_t nodes : sizes) {
+    StatAccumulator expand_ms, enum_ms, sched_ms, merge_ms, val_ms;
+    StatAccumulator tasks, cells;
+    for (std::size_t i = 0; i < graphs; ++i) {
+      Rng rng(++seed);
+      const Architecture arch = generate_random_architecture(rng);
+      RandomCpgParams params;
+      params.process_count = nodes;
+      params.path_count = paths;
+      const Cpg g = generate_random_cpg(arch, params, rng);
+
+      auto t0 = clock::now();
+      const FlatGraph fg = FlatGraph::expand(g);
+      auto t1 = clock::now();
+      const auto alt = enumerate_paths(g);
+      auto t2 = clock::now();
+      std::vector<PathSchedule> schedules;
+      for (const AltPath& p : alt) schedules.push_back(schedule_path(fg, p));
+      auto t3 = clock::now();
+      const MergeResult merged = merge_schedules(fg, alt, schedules);
+      auto t4 = clock::now();
+      const TableValidation v = validate_table(fg, merged.table, alt);
+      auto t5 = clock::now();
+      if (!v.ok) {
+        std::cerr << "validation failed: " << v.violations.front() << '\n';
+        return 1;
+      }
+      auto ms = [](clock::time_point a, clock::time_point b) {
+        return std::chrono::duration<double, std::milli>(b - a).count();
+      };
+      expand_ms.add(ms(t0, t1));
+      enum_ms.add(ms(t1, t2));
+      sched_ms.add(ms(t2, t3));
+      merge_ms.add(ms(t3, t4));
+      val_ms.add(ms(t4, t5));
+      tasks.add(static_cast<double>(fg.task_count()));
+      cells.add(static_cast<double>(merged.table.entry_count()));
+    }
+    table.cell(static_cast<std::int64_t>(nodes))
+        .cell(expand_ms.mean(), 3)
+        .cell(enum_ms.mean(), 3)
+        .cell(sched_ms.mean(), 3)
+        .cell(merge_ms.mean(), 3)
+        .cell(val_ms.mean(), 3)
+        .cell(tasks.mean(), 0)
+        .cell(cells.mean(), 0);
+    table.end_row();
+  }
+  std::cout << "=== S1: pipeline scaling ===\n\n";
+  table.render(std::cout);
+  return 0;
+}

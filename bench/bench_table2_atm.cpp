@@ -1,0 +1,60 @@
+// E6 — Table 2: worst case delays of the ATM OAM block in its three
+// operating modes on ten candidate architectures (1 or 2 processors of
+// type 486DX2/80 or Pentium/120, 1 or 2 memory modules).
+//
+// Paper reference values (ns):
+//   mode 1 (32 proc, 6 paths):  4471 2701 | 4471 2701 | 2932 2131 2532 | 2932 1932 2532
+//   mode 2 (23 proc, 3 paths):  1732 1167 | 1732 1167 | 1732 1167 1167 | 1732 1167 1167
+//   mode 3 (42 proc, 8 paths):  5852 3548 | 5852 3548 | 5033 3548 3548 | 5033 3548 3548
+// The models are synthesized (the original VHDL graphs are unpublished);
+// the reproduction target is the *shape*: where an extra processor or an
+// extra memory module pays back and where it has exactly no effect.
+#include <iostream>
+
+#include "atm/oam.hpp"
+#include "support/table_format.hpp"
+
+int main() {
+  using namespace cps;
+  const auto archs = oam_table2_architectures();
+
+  AsciiTable table("Table 2 — worst case delays for the OAM block (ns)");
+  std::vector<std::string> head{"mode", "nr.proc", "nr.paths"};
+  for (const auto& a : archs) head.push_back(a.label());
+  table.header(head);
+
+  const Time paper[3][10] = {
+      {4471, 2701, 4471, 2701, 2932, 2131, 2532, 2932, 1932, 2532},
+      {1732, 1167, 1732, 1167, 1732, 1167, 1167, 1732, 1167, 1167},
+      {5852, 3548, 5852, 3548, 5033, 3548, 3548, 5033, 3548, 3548}};
+
+  for (int mode = 1; mode <= 3; ++mode) {
+    std::vector<std::string> row;
+    std::vector<std::string> paper_row{"  (paper)", "", ""};
+    std::size_t procs = 0;
+    std::size_t paths = 0;
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+      const OamModeResult res = evaluate_oam_mode(mode, archs[i]);
+      procs = res.process_count;
+      paths = res.path_count;
+      row.push_back(std::to_string(res.worst_case_delay));
+      paper_row.push_back(std::to_string(paper[mode - 1][i]));
+    }
+    std::vector<std::string> full{std::to_string(mode),
+                                  std::to_string(procs),
+                                  std::to_string(paths)};
+    full.insert(full.end(), row.begin(), row.end());
+    table.add_row(full);
+    table.add_row(paper_row);
+  }
+  std::cout << "=== E6: Table 2 reproduction ===\n\n";
+  table.render(std::cout);
+  std::cout <<
+      "\nshape checks (all asserted by tests/test_atm.cpp):\n"
+      "  * a faster processor reduces the delay in every mode;\n"
+      "  * a second processor never helps mode 2, always helps mode 1,\n"
+      "    and helps mode 3 only for the 486;\n"
+      "  * a second memory module pays back only for 2 Pentiums in mode 1;\n"
+      "  * on 486+Pentium the chain of mode 2 runs on the Pentium.\n";
+  return 0;
+}

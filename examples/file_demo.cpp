@@ -1,0 +1,71 @@
+// Load a conditional process graph from a `.cpg` text file (or use the
+// built-in sample), schedule it and print the result — demonstrates the
+// text I/O round trip.
+//
+//   ./build/examples/file_demo                # built-in sample
+//   ./build/examples/file_demo my_model.cpg
+#include <iostream>
+
+#include "io/cpg_format.hpp"
+#include "io/table_render.hpp"
+#include "sched/driver.hpp"
+
+namespace {
+
+// A two-branch pipeline: conditions decide the codec (C) and whether a
+// checksum pass runs (K, only evaluated on !C).
+constexpr const char* kSample = R"(# sample model
+@arch
+processor cpu1
+processor cpu2
+hardware acc
+bus b1
+tau0 1
+@conditions
+C K
+@processes
+Read   cpu1 4
+Detect cpu1 3
+FastD  acc  6
+SlowD  cpu2 9
+Check  cpu2 4
+Skip   cpu2 1
+Merge  cpu2 3
+Emit   cpu2 2
+@conjunctions
+Merge
+@edges
+Read Detect 1
+Detect FastD C 2
+Detect SlowD !C 2
+SlowD Check K 1
+SlowD Skip !K 1
+FastD Merge 2
+Check Merge 0
+Skip Merge 0
+Merge Emit 0
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cps;
+  try {
+    const Cpg g = argc > 1 ? parse_cpg_file(argv[1])
+                           : parse_cpg_string(kSample);
+    std::cout << "loaded: " << g.ordinary_process_count() << " processes, "
+              << g.conditions().size() << " conditions\n";
+
+    const CoSynthesisResult r = schedule_cpg(g);
+    std::cout << "paths: " << r.paths.size()
+              << ", delta_M = " << r.delays.delta_m
+              << ", delta_max = " << r.delays.delta_max << '\n';
+    render_schedule_table(std::cout, r.table);
+
+    std::cout << "\nround-trip serialization:\n" << write_cpg_string(g);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

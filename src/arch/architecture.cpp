@@ -1,0 +1,110 @@
+#include "arch/architecture.hpp"
+
+#include <limits>
+
+namespace cps {
+
+const char* to_string(PeKind kind) {
+  switch (kind) {
+    case PeKind::kProcessor: return "processor";
+    case PeKind::kHardware: return "hardware";
+    case PeKind::kBus: return "bus";
+    case PeKind::kMemory: return "memory";
+  }
+  return "?";
+}
+
+PeId Architecture::add(ProcessingElement pe) {
+  CPS_REQUIRE(!pe.name.empty(), "processing element name must not be empty");
+  for (const auto& existing : pes_) {
+    CPS_REQUIRE(existing.name != pe.name,
+                "duplicate processing element name: " + pe.name);
+  }
+  CPS_REQUIRE(pes_.size() < std::numeric_limits<PeId>::max(),
+              "too many processing elements");
+  pe.id = static_cast<PeId>(pes_.size());
+  pes_.push_back(std::move(pe));
+  return pes_.back().id;
+}
+
+PeId Architecture::add_processor(const std::string& name, double speed) {
+  CPS_REQUIRE(speed > 0.0, "processor speed must be positive");
+  ProcessingElement pe;
+  pe.kind = PeKind::kProcessor;
+  pe.name = name;
+  pe.speed = speed;
+  return add(std::move(pe));
+}
+
+PeId Architecture::add_hardware(const std::string& name) {
+  ProcessingElement pe;
+  pe.kind = PeKind::kHardware;
+  pe.name = name;
+  return add(std::move(pe));
+}
+
+PeId Architecture::add_bus(const std::string& name, bool connects_all) {
+  ProcessingElement pe;
+  pe.kind = PeKind::kBus;
+  pe.name = name;
+  pe.connects_all = connects_all;
+  return add(std::move(pe));
+}
+
+PeId Architecture::add_memory(const std::string& name) {
+  ProcessingElement pe;
+  pe.kind = PeKind::kMemory;
+  pe.name = name;
+  return add(std::move(pe));
+}
+
+const ProcessingElement& Architecture::pe(PeId id) const {
+  CPS_REQUIRE(id < pes_.size(), "processing element id out of range");
+  return pes_[id];
+}
+
+std::vector<PeId> Architecture::of_kind(PeKind kind) const {
+  std::vector<PeId> out;
+  for (const auto& pe : pes_) {
+    if (pe.kind == kind) out.push_back(pe.id);
+  }
+  return out;
+}
+
+std::vector<PeId> Architecture::broadcast_buses() const {
+  std::vector<PeId> out;
+  for (const auto& pe : pes_) {
+    if (pe.is_bus() && pe.connects_all) out.push_back(pe.id);
+  }
+  return out;
+}
+
+PeId Architecture::id_of(const std::string& name) const {
+  for (const auto& pe : pes_) {
+    if (pe.name == name) return pe.id;
+  }
+  throw InvalidArgument("unknown processing element: " + name);
+}
+
+void Architecture::set_cond_broadcast_time(Time t) {
+  CPS_REQUIRE(t > 0, "condition broadcast time must be positive");
+  cond_broadcast_time_ = t;
+}
+
+void Architecture::validate(bool require_broadcast_bus) const {
+  CPS_REQUIRE(!pes_.empty(), "architecture has no processing elements");
+  bool has_computation = false;
+  for (const auto& pe : pes_) {
+    if (pe.is_computation()) has_computation = true;
+  }
+  if (!has_computation) {
+    throw ValidationError("architecture has no computation PE");
+  }
+  if (require_broadcast_bus && broadcast_buses().empty()) {
+    throw ValidationError(
+        "conditional models need at least one bus connecting all "
+        "processors for condition broadcasts (paper section 3)");
+  }
+}
+
+}  // namespace cps

@@ -1,0 +1,93 @@
+// Target architecture model (paper §2).
+//
+// An architecture consists of:
+//  * programmable processors — execute one process at a time;
+//  * hardware processors (ASICs) — execute processes in parallel;
+//  * buses — carry one data transfer at a time; a bus may connect all
+//    processors, in which case it can carry condition broadcasts (§3);
+//  * memory modules — shared sequential resources used by the ATM/OAM
+//    experiment (Table 2) for explicit memory-access processes.
+//
+// Programmable processors carry a `speed` factor so the same process-level
+// cycle budgets can be evaluated on, say, a 486DX2/80 and a Pentium/120.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+/// Discrete model time (ticks; ns for the ATM experiment).
+using Time = std::int64_t;
+
+/// Index of a processing element within an Architecture.
+using PeId = std::uint16_t;
+
+enum class PeKind : std::uint8_t {
+  kProcessor,  ///< programmable processor: mutual exclusion
+  kHardware,   ///< ASIC: internal parallelism, no mutual exclusion
+  kBus,        ///< communication bus: mutual exclusion
+  kMemory,     ///< memory module: mutual exclusion (ATM experiment)
+};
+
+const char* to_string(PeKind kind);
+
+struct ProcessingElement {
+  PeId id = 0;
+  PeKind kind = PeKind::kProcessor;
+  std::string name;
+  /// Relative speed of a programmable processor (execution time divisor).
+  double speed = 1.0;
+  /// For buses: does this bus reach every processor (so it can carry
+  /// condition broadcasts)? Ignored for other kinds.
+  bool connects_all = false;
+
+  bool is_bus() const { return kind == PeKind::kBus; }
+  bool is_computation() const {
+    return kind == PeKind::kProcessor || kind == PeKind::kHardware;
+  }
+  /// Can two items overlap on this PE? Only hardware allows it.
+  bool sequential() const { return kind != PeKind::kHardware; }
+};
+
+class Architecture {
+ public:
+  PeId add_processor(const std::string& name, double speed = 1.0);
+  PeId add_hardware(const std::string& name);
+  PeId add_bus(const std::string& name, bool connects_all = true);
+  PeId add_memory(const std::string& name);
+
+  std::size_t pe_count() const { return pes_.size(); }
+  const ProcessingElement& pe(PeId id) const;
+
+  /// Ids of PEs of a given kind, in creation order.
+  std::vector<PeId> of_kind(PeKind kind) const;
+  std::vector<PeId> processors() const { return of_kind(PeKind::kProcessor); }
+  std::vector<PeId> buses() const { return of_kind(PeKind::kBus); }
+
+  /// Buses flagged as connecting all processors (broadcast candidates).
+  std::vector<PeId> broadcast_buses() const;
+
+  /// Lookup by name; throws InvalidArgument if absent.
+  PeId id_of(const std::string& name) const;
+
+  /// Time to broadcast one condition value on a broadcast bus (τ0, §3).
+  Time cond_broadcast_time() const { return cond_broadcast_time_; }
+  void set_cond_broadcast_time(Time t);
+
+  /// Sanity checks: non-empty, unique names, at least one computation PE.
+  /// If `require_broadcast_bus`, at least one all-connecting bus must
+  /// exist (needed as soon as the model has conditions and >1 PE).
+  void validate(bool require_broadcast_bus) const;
+
+ private:
+  PeId add(ProcessingElement pe);
+
+  std::vector<ProcessingElement> pes_;
+  Time cond_broadcast_time_ = 1;
+};
+
+}  // namespace cps

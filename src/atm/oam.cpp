@@ -1,0 +1,398 @@
+#include "atm/oam.hpp"
+
+#include <algorithm>
+
+#include "cpg/builder.hpp"
+#include "support/error.hpp"
+
+namespace cps {
+
+const char* to_string(OamCpu cpu) {
+  switch (cpu) {
+    case OamCpu::k486: return "486";
+    case OamCpu::kPentium: return "Pent.";
+  }
+  return "?";
+}
+
+double oam_cpu_speed(OamCpu cpu) {
+  switch (cpu) {
+    case OamCpu::k486: return 1.0;
+    case OamCpu::kPentium: return 1.6;  // 486DX2/80 -> Pentium/120
+  }
+  return 1.0;
+}
+
+std::string OamArchitecture::label() const {
+  std::string s = std::to_string(cpus.size()) + "P/" +
+                  std::to_string(memories) + "M ";
+  if (cpus.size() == 2 && cpus[0] != cpus[1]) {
+    s += "486+Pent.";
+  } else if (cpus.size() == 2) {
+    s += std::string("2x") + to_string(cpus[0]);
+  } else {
+    s += to_string(cpus[0]);
+  }
+  return s;
+}
+
+namespace {
+
+// Base (486) durations in nanoseconds.
+constexpr Time kCpuShort = 90;
+constexpr Time kCpuMedium = 150;
+constexpr Time kCpuLong = 240;
+constexpr Time kMemAccess = 180;    // memory-module time, speed independent
+constexpr Time kCommCpuMem = 0;     // memory has a dedicated port (no bus)
+constexpr Time kCommCpuCpu = 140;   // bus time for a cpu<->cpu transfer
+// Mode 3's side branch ships a bulk data structure: offloading it to the
+// second processor costs this much bus time in each direction.
+constexpr Time kCommBranchData = 340;
+constexpr Time kTau0 = 25;          // condition broadcast time
+
+/// Incremental construction helper: chains of cpu/mem processes with the
+/// mapping knobs applied.
+class ModeBuilder {
+ public:
+  ModeBuilder(const OamArchitecture& arch, const OamMapping& mapping)
+      : arch_cfg_(arch), mapping_(mapping) {
+    CPS_REQUIRE(!arch.cpus.empty() && arch.cpus.size() <= 2,
+                "OAM architectures have one or two processors");
+    CPS_REQUIRE(arch.memories == 1 || arch.memories == 2,
+                "OAM architectures have one or two memory modules");
+    for (std::size_t i = 0; i < arch.cpus.size(); ++i) {
+      cpu_pes_.push_back(arch_.add_processor(
+          "cpu" + std::to_string(i + 1), oam_cpu_speed(arch.cpus[i])));
+    }
+    for (int i = 0; i < arch.memories; ++i) {
+      mem_pes_.push_back(arch_.add_memory("mem" + std::to_string(i + 1)));
+    }
+    arch_.add_bus("bus");
+    arch_.set_cond_broadcast_time(kTau0);
+    builder_.emplace(arch_);
+  }
+
+  /// Processor used for a chain of the given branch (0 = main chain).
+  PeId cpu_for(int branch) const {
+    const std::size_t main_idx =
+        static_cast<std::size_t>(mapping_.main_cpu) % cpu_pes_.size();
+    if (branch == 0 || !mapping_.offload_branch || cpu_pes_.size() < 2) {
+      return cpu_pes_[main_idx];
+    }
+    return cpu_pes_[1 - main_idx];
+  }
+
+  PeId mem_for(int branch) const {
+    if (mem_pes_.size() < 2 || !mapping_.split_memory) return mem_pes_[0];
+    return mem_pes_[branch % 2];
+  }
+
+  double speed_of(PeId pe) const { return arch_.pe(pe).speed; }
+
+  /// Add a computation process on the branch's processor.
+  ProcessId cpu(int branch, Time base) {
+    const PeId pe = cpu_for(branch);
+    const Time t = std::max<Time>(
+        1, static_cast<Time>(static_cast<double>(base) / speed_of(pe) + 0.5));
+    return add(pe, t);
+  }
+
+  /// Add a memory-access process on the branch's memory module.
+  ProcessId mem(int branch, Time duration = kMemAccess) {
+    return add(mem_for(branch), duration);
+  }
+
+  CondId cond(const std::string& name) { return builder_->add_condition(name); }
+
+  /// Connect two processes; communication time is inferred from the kinds
+  /// of the endpoints (0 when they share a PE — the builder ignores it),
+  /// or forced with `comm` for bulk transfers.
+  void edge(ProcessId a, ProcessId b, Time comm = -1) {
+    builder_->add_edge(a, b, comm >= 0 ? comm : comm_time(a, b));
+  }
+  void cond_edge(ProcessId a, ProcessId b, Literal lit) {
+    builder_->add_cond_edge(a, b, lit, comm_time(a, b));
+  }
+  void conjunction(ProcessId p) { builder_->mark_conjunction(p); }
+
+  /// Chain `n` processes after `prev` on a branch, making every second one
+  /// a memory access (if with_memory). Returns the last process.
+  ProcessId chain(int branch, ProcessId prev, int n, bool with_memory,
+                  Time base = kCpuMedium) {
+    for (int i = 0; i < n; ++i) {
+      const bool is_mem = with_memory && (i % 2 == 1);
+      const ProcessId p = is_mem ? mem(branch) : cpu(branch, base);
+      edge(prev, p);
+      prev = p;
+    }
+    return prev;
+  }
+
+  std::size_t process_count() const { return count_; }
+
+  Cpg build() { return builder_->build(); }
+
+ private:
+  ProcessId add(PeId pe, Time t) {
+    ++count_;
+    const ProcessId p =
+        builder_->add_process("P" + std::to_string(count_), pe, t);
+    CPS_ASSERT(p == pe_of_.size(), "process id drift in OAM builder");
+    pe_of_.push_back(pe);
+    return p;
+  }
+
+  Time comm_time(ProcessId a, ProcessId b) const {
+    const PeId pa = pe_of_[a];
+    const PeId pb = pe_of_[b];
+    if (pa == pb) return 0;
+    const bool mem_involved = arch_.pe(pa).kind == PeKind::kMemory ||
+                              arch_.pe(pb).kind == PeKind::kMemory;
+    return mem_involved ? kCommCpuMem : kCommCpuCpu;
+  }
+
+  // PE of every created process (used by comm_time).
+  std::vector<PeId> pe_of_;
+
+  OamArchitecture arch_cfg_;
+  OamMapping mapping_;
+  Architecture arch_;
+  std::optional<CpgBuilder> builder_;
+  std::vector<PeId> cpu_pes_;
+  std::vector<PeId> mem_pes_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace
+
+Cpg build_oam_mode_cpg(int mode, const OamArchitecture& arch,
+                       const OamMapping& mapping) {
+  CPS_REQUIRE(mode >= 1 && mode <= 3, "OAM mode must be 1, 2 or 3");
+  ModeBuilder mb(arch, mapping);
+
+  if (mode == 1) {
+    // 32 processes, 6 alternative paths: head(2) -> {F(13) || G(13)} ->
+    // tail(4). F carries condition c1 (2 paths), G carries c2 nested with
+    // c3 (3 paths). Both branches interleave computation with long memory
+    // transactions. The memory windows are staggered so that on a 486 the
+    // two branches never contend for one module, while on the faster
+    // Pentium the computation between accesses shrinks, the windows slide
+    // into each other and the *critical* branch F stalls behind G — which
+    // a second memory module (split mapping) removes. This reproduces the
+    // Table 2 effect that an extra module pays back only for 2 Pentiums.
+    constexpr Time kMemLong = 350;
+    const ProcessId h1 = mb.cpu(0, kCpuMedium);
+    const ProcessId h2 = mb.cpu(0, kCpuShort);
+    mb.edge(h1, h2);
+
+    // F branch (branch id 0, main processor; the critical branch —
+    // its memory windows start late).
+    const CondId c1 = mb.cond("c1");
+    const ProcessId f0 = mb.cpu(0, kCpuShort);  // disjunction of c1
+    mb.edge(h2, f0);
+    ProcessId f = mb.cpu(0, 840);
+    mb.cond_edge(f0, f, Literal{c1, true});
+    for (const Time step : {Time{-1}, Time{400}, Time{400}, Time{-1},
+                            Time{300}, Time{300}, Time{-1}}) {
+      const ProcessId p = step < 0 ? mb.mem(0, kMemLong) : mb.cpu(0, step);
+      mb.edge(f, p);
+      f = p;
+    }
+    ProcessId ff = mb.cpu(0, kCpuMedium);
+    mb.cond_edge(f0, ff, Literal{c1, false});
+    const ProcessId ffm = mb.mem(0);
+    mb.edge(ff, ffm);
+    const ProcessId ff2 = mb.cpu(0, kCpuShort);
+    mb.edge(ffm, ff2);
+    const ProcessId fj = mb.cpu(0, kCpuShort);
+    mb.conjunction(fj);
+    mb.edge(f, fj);
+    mb.edge(ff2, fj);
+
+    // G branch (branch id 1, offloadable; shorter, accesses memory first).
+    const CondId c2 = mb.cond("c2");
+    const CondId c3 = mb.cond("c3");
+    const ProcessId g0 = mb.cpu(1, kCpuShort);  // disjunction of c2
+    mb.edge(h2, g0);
+    ProcessId g = mb.cpu(1, 310);
+    mb.cond_edge(g0, g, Literal{c2, true});
+    for (const Time step : {Time{-1}, Time{400}, Time{400}, Time{-1},
+                            Time{600}, Time{300}}) {
+      const ProcessId p = step < 0 ? mb.mem(1, kMemLong) : mb.cpu(1, step);
+      mb.edge(g, p);
+      g = p;
+    }
+    const ProcessId g1 = mb.cpu(1, kCpuShort);  // disjunction of c3
+    mb.cond_edge(g0, g1, Literal{c2, false});
+    const ProcessId gft = mb.cpu(1, kCpuMedium);
+    mb.cond_edge(g1, gft, Literal{c3, true});
+    const ProcessId gftm = mb.mem(1);
+    mb.edge(gft, gftm);
+    const ProcessId gff = mb.cpu(1, kCpuMedium);
+    mb.cond_edge(g1, gff, Literal{c3, false});
+    const ProcessId gj = mb.cpu(1, kCpuShort);
+    mb.conjunction(gj);
+    mb.edge(g, gj);
+    mb.edge(gftm, gj);
+    mb.edge(gff, gj);
+
+    // Short tail on the main processor.
+    const ProcessId t1 = mb.cpu(0, kCpuShort);
+    mb.edge(fj, t1);
+    mb.edge(gj, t1);
+    mb.chain(0, t1, 3, /*with_memory=*/false, kCpuMedium);
+
+    CPS_ASSERT(mb.process_count() == 32, "OAM mode 1 must have 32 processes");
+    return mb.build();
+  }
+
+  if (mode == 2) {
+    // 23 processes, 3 alternative paths; a pure chain (no parallelism),
+    // entirely on the main processor.
+    ProcessId prev = mb.cpu(0, kCpuMedium);
+    prev = mb.chain(0, prev, 5, /*with_memory=*/true, kCpuMedium);
+    const CondId c1 = mb.cond("c1");
+    const ProcessId d1 = mb.cpu(0, kCpuShort);
+    mb.edge(prev, d1);
+    ProcessId bt = mb.cpu(0, kCpuLong);
+    mb.cond_edge(d1, bt, Literal{c1, true});
+    bt = mb.chain(0, bt, 6, /*with_memory=*/true, kCpuLong);
+    const CondId c2 = mb.cond("c2");
+    const ProcessId d2 = mb.cpu(0, kCpuShort);
+    mb.cond_edge(d1, d2, Literal{c1, false});
+    ProcessId b2 = mb.cpu(0, kCpuMedium);
+    mb.cond_edge(d2, b2, Literal{c2, true});
+    b2 = mb.chain(0, b2, 2, /*with_memory=*/true);
+    ProcessId b3 = mb.cpu(0, kCpuShort);
+    mb.cond_edge(d2, b3, Literal{c2, false});
+    b3 = mb.chain(0, b3, 1, /*with_memory=*/false);
+    const ProcessId j2 = mb.cpu(0, kCpuShort);
+    mb.conjunction(j2);
+    mb.edge(b2, j2);
+    mb.edge(b3, j2);
+    const ProcessId j1 = mb.cpu(0, kCpuShort);
+    mb.conjunction(j1);
+    mb.edge(bt, j1);
+    mb.edge(j2, j1);
+    mb.chain(0, j1, 1, /*with_memory=*/false);
+
+    CPS_ASSERT(mb.process_count() == 23, "OAM mode 2 must have 23 processes");
+    return mb.build();
+  }
+
+  // Mode 3: 42 processes, 8 alternative paths. Main chain A (with
+  // conditions c1, c2) plus a side branch B (condition c3) forked from the
+  // middle of A; offloading B pays only when the processors are slow
+  // relative to the fixed communication cost.
+  const ProcessId h1 = mb.cpu(0, kCpuMedium);
+  ProcessId prev = mb.chain(0, h1, 3, /*with_memory=*/true, kCpuMedium);
+
+  // A, first half.
+  prev = mb.chain(0, prev, 3, /*with_memory=*/true, kCpuLong);
+  const CondId c1 = mb.cond("c1");
+  const ProcessId d1 = mb.cpu(0, kCpuShort);
+  mb.edge(prev, d1);
+  ProcessId at = mb.cpu(0, kCpuLong);
+  mb.cond_edge(d1, at, Literal{c1, true});
+  at = mb.chain(0, at, 4, /*with_memory=*/true, kCpuLong);
+  ProcessId af = mb.cpu(0, kCpuMedium);
+  mb.cond_edge(d1, af, Literal{c1, false});
+  af = mb.chain(0, af, 3, /*with_memory=*/true, kCpuLong);
+  const ProcessId ja1 = mb.cpu(0, kCpuShort);
+  mb.conjunction(ja1);
+  mb.edge(at, ja1);
+  mb.edge(af, ja1);
+
+  // B forks here (branch id 1): pure computation, no memory; moving it to
+  // the other processor requires shipping the working set over the bus
+  // (the comm time is ignored when B stays on the main processor).
+  ProcessId b = mb.cpu(1, kCpuLong);
+  mb.edge(ja1, b, kCommBranchData);
+  b = mb.chain(1, b, 2, /*with_memory=*/false, kCpuLong);
+  const CondId c3 = mb.cond("c3");
+  const ProcessId d3 = mb.cpu(1, kCpuShort);
+  mb.edge(b, d3);
+  ProcessId bt3 = mb.cpu(1, kCpuMedium);
+  mb.cond_edge(d3, bt3, Literal{c3, true});
+  bt3 = mb.chain(1, bt3, 1, /*with_memory=*/false);
+  const ProcessId bf3 = mb.cpu(1, kCpuShort);
+  mb.cond_edge(d3, bf3, Literal{c3, false});
+  const ProcessId jb = mb.cpu(1, kCpuShort);
+  mb.conjunction(jb);
+  mb.edge(bt3, jb);
+  mb.edge(bf3, jb);
+  b = mb.chain(1, jb, 1, /*with_memory=*/false);
+
+  // A, second half (long enough that B fits in its shadow on a 486).
+  ProcessId a2 = mb.cpu(0, kCpuLong);
+  mb.edge(ja1, a2);
+  a2 = mb.chain(0, a2, 4, /*with_memory=*/true, kCpuLong);
+  const CondId c2 = mb.cond("c2");
+  const ProcessId d2 = mb.cpu(0, kCpuShort);
+  mb.edge(a2, d2);
+  ProcessId a2t = mb.cpu(0, kCpuMedium);
+  mb.cond_edge(d2, a2t, Literal{c2, true});
+  const ProcessId a2f = mb.cpu(0, kCpuShort);
+  mb.cond_edge(d2, a2f, Literal{c2, false});
+  const ProcessId ja2 = mb.cpu(0, kCpuShort);
+  mb.conjunction(ja2);
+  mb.edge(a2t, ja2);
+  mb.edge(a2f, ja2);
+
+  // Join of A and B, then the tail. B's result is bulk data again.
+  const ProcessId j = mb.cpu(0, kCpuShort);
+  mb.edge(ja2, j);
+  mb.edge(b, j, kCommBranchData);
+  mb.chain(0, j, 5, /*with_memory=*/true, kCpuMedium);
+
+  CPS_ASSERT(mb.process_count() == 42, "OAM mode 3 must have 42 processes");
+  return mb.build();
+}
+
+OamModeResult evaluate_oam_mode(int mode, const OamArchitecture& arch) {
+  std::vector<OamMapping> candidates;
+  const int cpu_choices = arch.cpus.size() == 2 ? 2 : 1;
+  for (int main_cpu = 0; main_cpu < cpu_choices; ++main_cpu) {
+    for (int offload = 0; offload < (arch.cpus.size() == 2 ? 2 : 1);
+         ++offload) {
+      for (int split = 0; split < (arch.memories == 2 ? 2 : 1); ++split) {
+        candidates.push_back(
+            OamMapping{main_cpu, offload != 0, split != 0});
+      }
+    }
+  }
+
+  OamModeResult best;
+  bool have = false;
+  for (const OamMapping& mapping : candidates) {
+    const Cpg g = build_oam_mode_cpg(mode, arch, mapping);
+    const CoSynthesisResult res = schedule_cpg(g);
+    if (!have || res.delays.delta_max < best.worst_case_delay) {
+      best.worst_case_delay = res.delays.delta_max;
+      best.process_count = g.ordinary_process_count();
+      best.path_count = res.paths.size();
+      best.best_mapping = mapping;
+      have = true;
+    }
+  }
+  CPS_ASSERT(have, "no mapping candidate evaluated");
+  return best;
+}
+
+std::vector<OamArchitecture> oam_table2_architectures() {
+  using C = OamCpu;
+  return {
+      OamArchitecture{{C::k486}, 1},
+      OamArchitecture{{C::kPentium}, 1},
+      OamArchitecture{{C::k486}, 2},
+      OamArchitecture{{C::kPentium}, 2},
+      OamArchitecture{{C::k486, C::k486}, 1},
+      OamArchitecture{{C::kPentium, C::kPentium}, 1},
+      OamArchitecture{{C::k486, C::kPentium}, 1},
+      OamArchitecture{{C::k486, C::k486}, 2},
+      OamArchitecture{{C::kPentium, C::kPentium}, 2},
+      OamArchitecture{{C::k486, C::kPentium}, 2},
+  };
+}
+
+}  // namespace cps

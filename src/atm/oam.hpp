@@ -1,0 +1,79 @@
+// ATM switch OAM block models (paper §6, Table 2).
+//
+// The OAM (operation and maintenance) block of the F4 protocol level runs
+// in one of three independent modes; each mode is a conditional process
+// graph scheduled on a small architecture of one or two processors
+// (486DX2/80 or Pentium/120), one or two memory modules and an internal
+// bus. The paper's VHDL process graphs are unpublished, so these models
+// are synthesized to the published sizes (32/23/42 processes, 6/3/8
+// alternative paths) and structural properties (see DESIGN.md §4):
+//  * mode 2 is a pure chain: a second processor can never help;
+//  * mode 3 has one side branch whose offloading pays for the 486 but is
+//    eaten by communication overhead on the faster Pentium;
+//  * mode 1 has two parallel branches with interleaved memory accesses:
+//    a second processor always helps, a second memory module only when
+//    the processors are fast enough for memory to become the bottleneck.
+//
+// Memory accesses are explicit processes mapped onto memory-module
+// resources; execution times of processor-mapped processes scale with the
+// processor's speed factor.
+//
+// As in the paper, processes are "assigned to processors taking into
+// consideration the potential parallelism of the process graphs and the
+// amount of communication": evaluate_oam_mode tries the sensible mapping
+// candidates (main processor choice, branch offloading, memory-bank
+// splitting) and reports the best worst-case delay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpg/cpg.hpp"
+#include "sched/driver.hpp"
+
+namespace cps {
+
+enum class OamCpu : std::uint8_t { k486, kPentium };
+
+const char* to_string(OamCpu cpu);
+
+/// Relative speed of the processor models (execution-time divisor).
+double oam_cpu_speed(OamCpu cpu);
+
+struct OamArchitecture {
+  std::vector<OamCpu> cpus;  // 1 or 2 entries
+  int memories = 1;          // 1 or 2
+
+  std::string label() const;  // e.g. "2P/1M 486+Pent."
+};
+
+/// Mapping knobs explored by evaluate_oam_mode.
+struct OamMapping {
+  /// Index (into cpus) of the processor running the main chain.
+  int main_cpu = 0;
+  /// Run the parallel branch (modes 1 and 3) on the other processor.
+  bool offload_branch = false;
+  /// Spread memory accesses of different branches over the two modules.
+  bool split_memory = false;
+};
+
+/// Build the CPG of one mode (1..3) under a concrete mapping.
+Cpg build_oam_mode_cpg(int mode, const OamArchitecture& arch,
+                       const OamMapping& mapping);
+
+struct OamModeResult {
+  Time worst_case_delay = 0;
+  std::size_t process_count = 0;  // ordinary processes (paper "nr. proc")
+  std::size_t path_count = 0;     // alternative paths (paper "nr. paths")
+  OamMapping best_mapping;
+};
+
+/// Evaluate one mode on one architecture: try all applicable mapping
+/// candidates and keep the smallest worst-case delay (δ_max of the
+/// generated schedule table).
+OamModeResult evaluate_oam_mode(int mode, const OamArchitecture& arch);
+
+/// The ten architecture configurations of Table 2, in column order.
+std::vector<OamArchitecture> oam_table2_architectures();
+
+}  // namespace cps

@@ -1,0 +1,67 @@
+#include "cond/assignment.hpp"
+
+#include "support/error.hpp"
+
+namespace cps {
+
+Assignment Assignment::from_cube(const Cube& cube,
+                                 std::size_t universe_size) {
+  Assignment out(universe_size);
+  for (const Literal& l : cube.literals()) {
+    CPS_REQUIRE(l.cond < universe_size,
+                "cube mentions condition outside the universe");
+    out.values_[l.cond] = l.value;
+  }
+  return out;
+}
+
+std::vector<Assignment> Assignment::enumerate(std::size_t universe_size) {
+  CPS_REQUIRE(universe_size <= 20,
+              "refusing to enumerate more than 2^20 assignments");
+  std::vector<Assignment> out;
+  out.reserve(std::size_t{1} << universe_size);
+  for (std::uint32_t bits = 0;
+       bits < (std::uint32_t{1} << universe_size); ++bits) {
+    Assignment a(universe_size);
+    for (std::size_t i = 0; i < universe_size; ++i) {
+      a.values_[i] = (bits >> i) & 1u;
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+bool Assignment::value(CondId cond) const {
+  CPS_REQUIRE(cond < values_.size(), "condition outside the universe");
+  return values_[cond];
+}
+
+void Assignment::set(CondId cond, bool v) {
+  CPS_REQUIRE(cond < values_.size(), "condition outside the universe");
+  values_[cond] = v;
+}
+
+bool Assignment::satisfies(const Cube& cube) const {
+  for (const Literal& l : cube.literals()) {
+    if (!satisfies(l)) return false;
+  }
+  return true;
+}
+
+Cube Assignment::to_cube() const {
+  std::vector<Literal> lits;
+  lits.reserve(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    lits.push_back(Literal{static_cast<CondId>(i), values_[i]});
+  }
+  return Cube(lits);
+}
+
+std::string Assignment::to_string() const {
+  std::string out;
+  out.reserve(values_.size());
+  for (bool v : values_) out += v ? '1' : '0';
+  return out;
+}
+
+}  // namespace cps

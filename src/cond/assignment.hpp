@@ -1,0 +1,51 @@
+// Assignment: a complete valuation of a condition universe.
+//
+// Alternative paths are identified by the cube of conditions actually
+// *encountered* on the path (the label L_k); an Assignment extends such a
+// cube to every condition of the model, which is what the run-time
+// simulator needs to execute a table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cond/cube.hpp"
+
+namespace cps {
+
+class Assignment {
+ public:
+  Assignment() = default;
+
+  /// All-false assignment over `universe_size` conditions.
+  explicit Assignment(std::size_t universe_size)
+      : values_(universe_size, false) {}
+
+  /// Extend a cube with `false` for unmentioned conditions.
+  static Assignment from_cube(const Cube& cube, std::size_t universe_size);
+
+  /// Enumerate all 2^n assignments over the universe (n must be <= 20).
+  static std::vector<Assignment> enumerate(std::size_t universe_size);
+
+  std::size_t universe_size() const { return values_.size(); }
+
+  bool value(CondId cond) const;
+  void set(CondId cond, bool v);
+
+  bool satisfies(Literal l) const { return value(l.cond) == l.value; }
+  bool satisfies(const Cube& cube) const;
+
+  /// Cube fixing every condition of the universe to its value here.
+  Cube to_cube() const;
+
+  /// Render as bit string, index 0 first, e.g. "101".
+  std::string to_string() const;
+
+  friend auto operator<=>(const Assignment&, const Assignment&) = default;
+
+ private:
+  std::vector<bool> values_;
+};
+
+}  // namespace cps

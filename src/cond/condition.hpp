@@ -1,0 +1,35 @@
+// Basic condition vocabulary: condition identifiers and literals.
+//
+// A *condition* is an independent boolean computed at run time by a
+// disjunction process (paper §2). A *literal* is a condition together with a
+// polarity; conjunctions of literals (cubes) label conditional edges, guard
+// processes and head schedule-table columns.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace cps {
+
+/// Index of a condition within a ConditionSet.
+using CondId = std::uint16_t;
+
+/// A condition with a polarity, e.g. "D" or "!D".
+struct Literal {
+  CondId cond = 0;
+  bool value = true;
+
+  Literal negated() const { return Literal{cond, !value}; }
+
+  friend auto operator<=>(const Literal&, const Literal&) = default;
+};
+
+}  // namespace cps
+
+template <>
+struct std::hash<cps::Literal> {
+  std::size_t operator()(const cps::Literal& l) const noexcept {
+    return (static_cast<std::size_t>(l.cond) << 1) | (l.value ? 1u : 0u);
+  }
+};

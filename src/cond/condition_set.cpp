@@ -1,0 +1,49 @@
+#include "cond/condition_set.hpp"
+
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+CondId ConditionSet::add(const std::string& name) {
+  CPS_REQUIRE(!name.empty(), "condition name must not be empty");
+  CPS_REQUIRE(!contains(name), "duplicate condition name: " + name);
+  CPS_REQUIRE(names_.size() < std::numeric_limits<CondId>::max(),
+              "too many conditions");
+  names_.push_back(name);
+  return static_cast<CondId>(names_.size() - 1);
+}
+
+const std::string& ConditionSet::name(CondId id) const {
+  CPS_REQUIRE(id < names_.size(), "condition id out of range");
+  return names_[id];
+}
+
+CondId ConditionSet::id_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<CondId>(i);
+  }
+  throw InvalidArgument("unknown condition name: " + name);
+}
+
+bool ConditionSet::contains(const std::string& name) const {
+  for (const auto& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::string ConditionSet::render(const Cube& cube) const {
+  return cube.to_string([this](CondId c) { return name(c); });
+}
+
+std::string ConditionSet::render(const Dnf& dnf) const {
+  return dnf.to_string([this](CondId c) { return name(c); });
+}
+
+std::string ConditionSet::render(Literal l) const {
+  return (l.value ? "" : "!") + name(l.cond);
+}
+
+}  // namespace cps

@@ -1,0 +1,34 @@
+// ConditionSet: the named universe of conditions of one model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cond/cube.hpp"
+#include "cond/dnf.hpp"
+
+namespace cps {
+
+/// Registry of condition names; owns the CondId space of a model.
+class ConditionSet {
+ public:
+  /// Register a new condition; names must be unique and non-empty.
+  CondId add(const std::string& name);
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(CondId id) const;
+
+  /// Lookup by name; throws InvalidArgument if absent.
+  CondId id_of(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  /// Pretty-print helpers bound to this name table.
+  std::string render(const Cube& cube) const;
+  std::string render(const Dnf& dnf) const;
+  std::string render(Literal l) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace cps

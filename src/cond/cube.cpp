@@ -1,0 +1,107 @@
+#include "cond/cube.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+Cube::Cube(const std::vector<Literal>& lits) {
+  lits_ = lits;
+  std::sort(lits_.begin(), lits_.end());
+  for (std::size_t i = 1; i < lits_.size(); ++i) {
+    if (lits_[i - 1].cond == lits_[i].cond) {
+      CPS_REQUIRE(lits_[i - 1].value == lits_[i].value,
+                  "contradictory literals in cube constructor");
+    }
+  }
+  lits_.erase(std::unique(lits_.begin(), lits_.end()), lits_.end());
+}
+
+std::optional<bool> Cube::value_of(CondId cond) const {
+  // Cubes are tiny (a handful of conditions); linear scan beats binary
+  // search in practice and keeps the code obvious.
+  for (const Literal& l : lits_) {
+    if (l.cond == cond) return l.value;
+    if (l.cond > cond) break;
+  }
+  return std::nullopt;
+}
+
+std::optional<Cube> Cube::conjoin(Literal l) const {
+  if (auto v = value_of(l.cond)) {
+    if (*v != l.value) return std::nullopt;
+    return *this;
+  }
+  Cube out = *this;
+  out.lits_.insert(
+      std::upper_bound(out.lits_.begin(), out.lits_.end(), l), l);
+  return out;
+}
+
+std::optional<Cube> Cube::conjoin(const Cube& other) const {
+  Cube out = *this;
+  for (const Literal& l : other.lits_) {
+    auto next = out.conjoin(l);
+    if (!next) return std::nullopt;
+    out = std::move(*next);
+  }
+  return out;
+}
+
+bool Cube::compatible(const Cube& other) const {
+  auto a = lits_.begin();
+  auto b = other.lits_.begin();
+  while (a != lits_.end() && b != other.lits_.end()) {
+    if (a->cond == b->cond) {
+      if (a->value != b->value) return false;
+      ++a;
+      ++b;
+    } else if (a->cond < b->cond) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return true;
+}
+
+bool Cube::implies(const Cube& other) const {
+  return std::includes(lits_.begin(), lits_.end(), other.lits_.begin(),
+                       other.lits_.end());
+}
+
+Cube Cube::without(CondId cond) const {
+  Cube out;
+  out.lits_.reserve(lits_.size());
+  for (const Literal& l : lits_) {
+    if (l.cond != cond) out.lits_.push_back(l);
+  }
+  return out;
+}
+
+bool Cube::conditions_subset_of(const Cube& other) const {
+  for (const Literal& l : lits_) {
+    if (!other.mentions(l.cond)) return false;
+  }
+  return true;
+}
+
+std::string Cube::to_string(
+    const std::function<std::string(CondId)>& name) const {
+  if (lits_.empty()) return "true";
+  std::string out;
+  for (std::size_t i = 0; i < lits_.size(); ++i) {
+    if (i > 0) out += " & ";
+    if (!lits_[i].value) out += '!';
+    out += name(lits_[i].cond);
+  }
+  return out;
+}
+
+std::string Cube::to_string() const {
+  return to_string(
+      [](CondId c) { return "c" + std::to_string(c); });
+}
+
+}  // namespace cps

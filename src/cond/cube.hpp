@@ -1,0 +1,78 @@
+// Cube: a conjunction of condition literals.
+//
+// Cubes are the workhorse of the scheduler: path labels, decided-condition
+// prefixes of the decision tree and schedule-table column headers are all
+// cubes. The empty cube is the constant `true`.
+//
+// Invariant: literals are sorted by condition id and no condition appears
+// twice; a cube is therefore always satisfiable.
+#pragma once
+
+#include <compare>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cond/condition.hpp"
+
+namespace cps {
+
+class Cube {
+ public:
+  /// The empty conjunction, i.e. constant true.
+  Cube() = default;
+
+  /// Single-literal cube.
+  explicit Cube(Literal l) : lits_{l} {}
+
+  /// Build from arbitrary literals. Throws InvalidArgument if two literals
+  /// contradict each other (use conjoin for a non-throwing combination).
+  explicit Cube(const std::vector<Literal>& lits);
+
+  static Cube top() { return Cube{}; }
+
+  bool is_true() const { return lits_.empty(); }
+  std::size_t size() const { return lits_.size(); }
+  const std::vector<Literal>& literals() const { return lits_; }
+
+  /// Polarity of `cond` in this cube, or nullopt if unconstrained.
+  std::optional<bool> value_of(CondId cond) const;
+  bool mentions(CondId cond) const { return value_of(cond).has_value(); }
+
+  /// Conjunction with a literal; nullopt if the result is contradictory.
+  std::optional<Cube> conjoin(Literal l) const;
+
+  /// Conjunction with another cube; nullopt if contradictory.
+  std::optional<Cube> conjoin(const Cube& other) const;
+
+  /// True when the two cubes agree on every shared condition, i.e. their
+  /// conjunction is satisfiable. The paper's column-conflict test (§5.2)
+  /// is `compatible && different start times`.
+  bool compatible(const Cube& other) const;
+
+  /// True when this cube implies `other` (every literal of `other` appears
+  /// here). top() is implied by everything.
+  bool implies(const Cube& other) const;
+
+  /// Remove the literal for `cond` if present.
+  Cube without(CondId cond) const;
+
+  /// True when every condition mentioned by this cube is also mentioned by
+  /// `other` (regardless of polarity).
+  bool conditions_subset_of(const Cube& other) const;
+
+  /// Render as e.g. "D & C & !K" using names from the callback; "true" for
+  /// the empty cube.
+  std::string to_string(
+      const std::function<std::string(CondId)>& name) const;
+  /// Render with bare numeric ids ("c0 & !c3").
+  std::string to_string() const;
+
+  friend auto operator<=>(const Cube&, const Cube&) = default;
+
+ private:
+  std::vector<Literal> lits_;  // sorted by cond id, unique conditions
+};
+
+}  // namespace cps

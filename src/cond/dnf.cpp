@@ -1,0 +1,179 @@
+#include "cond/dnf.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+namespace {
+
+// If a and b differ only in the polarity of exactly one condition, return
+// the merged cube with that condition dropped (X&C | X&!C == X).
+std::optional<Cube> merge_complementary(const Cube& a, const Cube& b) {
+  const auto& la = a.literals();
+  const auto& lb = b.literals();
+  if (la.size() != lb.size()) return std::nullopt;
+  std::optional<CondId> flipped;
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    if (la[i].cond != lb[i].cond) return std::nullopt;
+    if (la[i].value != lb[i].value) {
+      if (flipped) return std::nullopt;
+      flipped = la[i].cond;
+    }
+  }
+  if (!flipped) return std::nullopt;  // identical cubes
+  return a.without(*flipped);
+}
+
+}  // namespace
+
+void Dnf::normalize() {
+  // Iterate absorption + complementary merging to a fixed point. Cube
+  // counts in this domain are small (guards mention a handful of
+  // conditions), so the quadratic passes are cheap.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::sort(cubes_.begin(), cubes_.end());
+    cubes_.erase(std::unique(cubes_.begin(), cubes_.end()), cubes_.end());
+    // Absorption: drop any cube implied by (more specific than) another.
+    for (std::size_t i = 0; i < cubes_.size() && !changed; ++i) {
+      for (std::size_t j = 0; j < cubes_.size(); ++j) {
+        if (i == j) continue;
+        if (cubes_[i].implies(cubes_[j])) {
+          cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(i));
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (changed) continue;
+    // Complementary merge.
+    for (std::size_t i = 0; i < cubes_.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < cubes_.size(); ++j) {
+        if (auto merged = merge_complementary(cubes_[i], cubes_[j])) {
+          cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(j));
+          cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(i));
+          cubes_.push_back(*merged);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+Dnf Dnf::or_cube(const Cube& cube) const {
+  Dnf out = *this;
+  out.cubes_.push_back(cube);
+  out.normalize();
+  return out;
+}
+
+Dnf Dnf::or_dnf(const Dnf& other) const {
+  Dnf out = *this;
+  out.cubes_.insert(out.cubes_.end(), other.cubes_.begin(),
+                    other.cubes_.end());
+  out.normalize();
+  return out;
+}
+
+Dnf Dnf::and_cube(const Cube& cube) const {
+  Dnf out;
+  for (const Cube& c : cubes_) {
+    if (auto product = c.conjoin(cube)) out.cubes_.push_back(*product);
+  }
+  out.normalize();
+  return out;
+}
+
+Dnf Dnf::and_dnf(const Dnf& other) const {
+  Dnf out;
+  for (const Cube& a : cubes_) {
+    for (const Cube& b : other.cubes_) {
+      if (auto product = a.conjoin(b)) out.cubes_.push_back(*product);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+bool Dnf::evaluate(const std::function<bool(CondId)>& value) const {
+  for (const Cube& c : cubes_) {
+    bool sat = true;
+    for (const Literal& l : c.literals()) {
+      if (value(l.cond) != l.value) {
+        sat = false;
+        break;
+      }
+    }
+    if (sat) return true;
+  }
+  return false;
+}
+
+bool Dnf::covered_by_context(const Cube& context) const {
+  // Restrict to the context: drop incompatible cubes; if a compatible cube
+  // is fully satisfied by the context it covers everything.
+  std::vector<const Cube*> live;
+  for (const Cube& c : cubes_) {
+    if (!c.compatible(context)) continue;
+    if (context.implies(c)) return true;
+    live.push_back(&c);
+  }
+  if (live.empty()) return false;
+  // Shannon-expand on the first condition mentioned by a live cube but not
+  // decided by the context.
+  std::optional<CondId> pivot;
+  for (const Cube* c : live) {
+    for (const Literal& l : c->literals()) {
+      if (!context.mentions(l.cond)) {
+        pivot = l.cond;
+        break;
+      }
+    }
+    if (pivot) break;
+  }
+  CPS_ASSERT(pivot.has_value(),
+             "live cube with all conditions decided must have been caught");
+  auto pos = context.conjoin(Literal{*pivot, true});
+  auto neg = context.conjoin(Literal{*pivot, false});
+  CPS_ASSERT(pos && neg, "pivot was undecided so both extensions exist");
+  return covered_by_context(*pos) && covered_by_context(*neg);
+}
+
+bool Dnf::implies(const Dnf& other) const {
+  // this -> other  iff  every cube of this is covered by other.
+  for (const Cube& c : cubes_) {
+    if (!other.covered_by_context(c)) return false;
+  }
+  return true;
+}
+
+std::vector<CondId> Dnf::mentioned_conditions() const {
+  std::vector<CondId> out;
+  for (const Cube& c : cubes_) {
+    for (const Literal& l : c.literals()) out.push_back(l.cond);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Dnf::to_string(
+    const std::function<std::string(CondId)>& name) const {
+  if (cubes_.empty()) return "false";
+  std::string out;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += cubes_[i].to_string(name);
+  }
+  return out;
+}
+
+std::string Dnf::to_string() const {
+  return to_string([](CondId c) { return "c" + std::to_string(c); });
+}
+
+}  // namespace cps

@@ -1,0 +1,85 @@
+// Dnf: a disjunction of cubes (sum of products) over condition literals.
+//
+// Guards of conjunction processes are genuine disjunctions (paper §2: the
+// guard of a conjunction node is the OR over its alternative input paths,
+// e.g. X_P17 = (D&K) | (D&!K) | !D = true), so a cube is not enough.
+// The class keeps a modest normal form: contradictions dropped, subsumed
+// cubes absorbed, complementary pairs merged (X&C | X&!C -> X).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cond/cube.hpp"
+
+namespace cps {
+
+class Dnf {
+ public:
+  /// Constant false (empty disjunction).
+  Dnf() = default;
+
+  /// Single-cube DNF.
+  explicit Dnf(const Cube& cube) : cubes_{cube} {}
+
+  static Dnf constant(bool value) {
+    return value ? Dnf(Cube::top()) : Dnf();
+  }
+  static Dnf true_() { return constant(true); }
+  static Dnf false_() { return constant(false); }
+
+  bool is_false() const { return cubes_.empty(); }
+  /// Syntactic check: true iff the normal form is exactly the top cube.
+  /// (tautology() performs the semantic check.)
+  bool is_true() const {
+    return cubes_.size() == 1 && cubes_.front().is_true();
+  }
+
+  const std::vector<Cube>& cubes() const { return cubes_; }
+
+  /// Disjunction with a cube / another DNF (normalizing).
+  Dnf or_cube(const Cube& cube) const;
+  Dnf or_dnf(const Dnf& other) const;
+
+  /// Conjunction with a cube / another DNF (cube-wise product, normalized).
+  Dnf and_cube(const Cube& cube) const;
+  Dnf and_literal(Literal l) const { return and_cube(Cube(l)); }
+  Dnf and_dnf(const Dnf& other) const;
+
+  /// Evaluate under a complete description of the mentioned conditions:
+  /// `value(cond)` must return the polarity of every condition this DNF
+  /// mentions.
+  bool evaluate(const std::function<bool(CondId)>& value) const;
+
+  /// True iff every assignment consistent with `context` satisfies this
+  /// DNF (i.e. context implies the DNF). Implemented by Shannon expansion;
+  /// exact, not an approximation.
+  bool covered_by_context(const Cube& context) const;
+
+  /// Semantic tautology test: covered by the empty context.
+  bool tautology() const { return covered_by_context(Cube::top()); }
+
+  /// True iff this DNF implies `other` for every assignment.
+  bool implies(const Dnf& other) const;
+
+  /// Semantic equivalence.
+  bool equivalent(const Dnf& other) const {
+    return implies(other) && other.implies(*this);
+  }
+
+  /// All condition ids mentioned by any cube (sorted, unique).
+  std::vector<CondId> mentioned_conditions() const;
+
+  std::string to_string(
+      const std::function<std::string(CondId)>& name) const;
+  std::string to_string() const;
+
+  friend bool operator==(const Dnf&, const Dnf&) = default;
+
+ private:
+  void normalize();
+
+  std::vector<Cube> cubes_;  // sorted, pairwise non-subsuming
+};
+
+}  // namespace cps

@@ -1,0 +1,42 @@
+#include "cpg/cpg.hpp"
+
+#include "support/error.hpp"
+
+namespace cps {
+
+const Process& Cpg::process(ProcessId p) const {
+  CPS_REQUIRE(p < processes_.size(), "process id out of range");
+  return processes_[p];
+}
+
+const CpgEdge& Cpg::edge(EdgeId e) const {
+  CPS_REQUIRE(e < edges_.size(), "edge id out of range");
+  return edges_[e];
+}
+
+ProcessId Cpg::disjunction_of(CondId cond) const {
+  CPS_REQUIRE(cond < disjunction_of_.size(), "condition id out of range");
+  return disjunction_of_[cond];
+}
+
+std::size_t Cpg::ordinary_process_count() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (!p.is_dummy()) ++n;
+  }
+  return n;
+}
+
+bool Cpg::active_under(ProcessId p, const Assignment& a) const {
+  return process(p).guard.evaluate(
+      [&a](CondId c) { return a.value(c); });
+}
+
+ProcessId Cpg::process_by_name(const std::string& name) const {
+  for (const auto& p : processes_) {
+    if (p.name == name) return p.id;
+  }
+  throw InvalidArgument("unknown process name: " + name);
+}
+
+}  // namespace cps

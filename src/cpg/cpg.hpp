@@ -1,0 +1,73 @@
+// Cpg: a validated conditional process graph bound to an architecture.
+//
+// Construction goes through CpgBuilder (cpg/builder.hpp), which validates
+// the model and computes guards; a Cpg is immutable afterwards. The graph
+// is directed, acyclic and polar: `source()` precedes and `sink()` follows
+// every other process (paper §2).
+#pragma once
+
+#include <vector>
+
+#include "arch/architecture.hpp"
+#include "cond/assignment.hpp"
+#include "cond/condition_set.hpp"
+#include "cpg/process.hpp"
+#include "graph/digraph.hpp"
+
+namespace cps {
+
+class Cpg {
+ public:
+  const Architecture& arch() const { return arch_; }
+  const ConditionSet& conditions() const { return conds_; }
+
+  std::size_t process_count() const { return processes_.size(); }
+  const Process& process(ProcessId p) const;
+  const std::vector<Process>& processes() const { return processes_; }
+
+  std::size_t edge_count() const { return edges_.size(); }
+  const CpgEdge& edge(EdgeId e) const;
+  const std::vector<CpgEdge>& edges() const { return edges_; }
+
+  ProcessId source() const { return source_; }
+  ProcessId sink() const { return sink_; }
+
+  /// Underlying graph structure (node ids == process ids).
+  const Digraph& graph() const { return graph_; }
+
+  /// In-/out-edge ids of a process.
+  const std::vector<EdgeId>& out_edges(ProcessId p) const {
+    return graph_.out_edges(p);
+  }
+  const std::vector<EdgeId>& in_edges(ProcessId p) const {
+    return graph_.in_edges(p);
+  }
+
+  /// The disjunction process computing `cond`.
+  ProcessId disjunction_of(CondId cond) const;
+
+  /// Number of "ordinary" (designer-specified, non-dummy) processes.
+  std::size_t ordinary_process_count() const;
+
+  /// True when the process is active (its guard holds) under a complete
+  /// condition assignment.
+  bool active_under(ProcessId p, const Assignment& a) const;
+
+  /// Lookup process id by name; throws InvalidArgument if absent.
+  ProcessId process_by_name(const std::string& name) const;
+
+ private:
+  friend class CpgBuilder;
+  Cpg() = default;
+
+  Architecture arch_;
+  ConditionSet conds_;
+  std::vector<Process> processes_;
+  std::vector<CpgEdge> edges_;
+  Digraph graph_;
+  ProcessId source_ = 0;
+  ProcessId sink_ = 0;
+  std::vector<ProcessId> disjunction_of_;  // indexed by CondId
+};
+
+}  // namespace cps

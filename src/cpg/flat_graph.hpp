@@ -1,0 +1,105 @@
+// FlatGraph: the scheduler's view of a CPG.
+//
+// Expanding a Cpg against its architecture yields one *task* per:
+//  * process (ordinary + dummies), mapped to its processor;
+//  * inter-PE communication (paper: "communication process", the black
+//    dots of Fig. 1), mapped to the bus assigned to the edge, with
+//    duration equal to the communication time;
+//  * condition broadcast (paper §3): after a disjunction process ends, its
+//    condition value is broadcast on the first available bus that connects
+//    all processors, taking τ0 time units. Broadcast tasks exist when the
+//    model has conditions and more than one resource hosts tasks.
+//
+// The dependency digraph runs over tasks: src-process -> comm -> dst-process
+// for expanded edges, direct edges otherwise, and disjunction -> broadcast.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpg/cpg.hpp"
+#include "cpg/paths.hpp"
+#include "graph/digraph.hpp"
+
+namespace cps {
+
+using TaskId = std::uint32_t;
+
+enum class TaskKind : std::uint8_t { kProcess, kComm, kBroadcast };
+
+struct Task {
+  TaskId id = 0;
+  TaskKind kind = TaskKind::kProcess;
+  std::string name;
+  /// Resource executing the task. For broadcast tasks this is the
+  /// *default* broadcast bus; when the architecture has several broadcast
+  /// buses the scheduler may pick a different one per path.
+  PeId resource = 0;
+  Time duration = 0;
+  /// Activation guard (process guard; for a communication, guard of the
+  /// transmission = guard(src) & edge literal; for a broadcast, guard of
+  /// the disjunction process).
+  Dnf guard = Dnf::true_();
+  /// Condition computed on completion (disjunction processes only).
+  std::optional<CondId> computes;
+  /// Condition broadcast by this task (broadcast tasks only).
+  std::optional<CondId> broadcasts;
+  /// Originating process (kProcess) or edge (kComm).
+  std::optional<ProcessId> origin_process;
+  std::optional<EdgeId> origin_edge;
+
+  bool is_process() const { return kind == TaskKind::kProcess; }
+  bool is_comm() const { return kind == TaskKind::kComm; }
+  bool is_broadcast() const { return kind == TaskKind::kBroadcast; }
+};
+
+class FlatGraph {
+ public:
+  /// Expand a CPG. The Cpg must outlive the FlatGraph.
+  static FlatGraph expand(const Cpg& g);
+
+  const Cpg& cpg() const { return *cpg_; }
+  const Architecture& arch() const { return cpg_->arch(); }
+
+  std::size_t task_count() const { return tasks_.size(); }
+  const Task& task(TaskId t) const;
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  /// Dependency DAG over tasks.
+  const Digraph& deps() const { return deps_; }
+
+  TaskId task_of_process(ProcessId p) const;
+  /// Broadcast task of a condition; nullopt when broadcasts are disabled
+  /// (single-resource models).
+  std::optional<TaskId> broadcast_task(CondId c) const;
+  bool broadcasts_enabled() const { return !bcast_tasks_.empty(); }
+
+  /// Task of the disjunction process computing `c`.
+  TaskId disjunction_task(CondId c) const;
+
+  TaskId source_task() const { return task_of_process(cpg_->source()); }
+  TaskId sink_task() const { return task_of_process(cpg_->sink()); }
+
+  /// Tasks active on the path identified by `label` (a complete path
+  /// label; every task guard is decided under it).
+  std::vector<bool> active_tasks(const Cube& label) const;
+
+  /// Resources that host at least one task (sorted).
+  const std::vector<PeId>& used_resources() const { return used_resources_; }
+
+  /// Broadcast bus candidates (sorted by PE id); empty iff broadcasts are
+  /// disabled.
+  const std::vector<PeId>& broadcast_buses() const { return bcast_buses_; }
+
+ private:
+  const Cpg* cpg_ = nullptr;
+  std::vector<Task> tasks_;
+  Digraph deps_;
+  std::vector<TaskId> task_of_process_;   // by ProcessId
+  std::vector<TaskId> bcast_tasks_;       // by CondId (empty if disabled)
+  std::vector<PeId> used_resources_;
+  std::vector<PeId> bcast_buses_;
+};
+
+}  // namespace cps

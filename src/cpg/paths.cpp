@@ -1,0 +1,70 @@
+#include "cpg/paths.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+namespace {
+
+// Activation status of each process given a partial context: a process is
+// active iff its guard holds for *every* completion of the context. During
+// enumeration the context always decides every condition whose disjunction
+// is active, so the tri-state collapses to a bool for exactly those
+// processes that matter.
+std::vector<bool> active_under_context(const Cpg& g, const Cube& context) {
+  std::vector<bool> active(g.process_count(), false);
+  for (ProcessId p = 0; p < g.process_count(); ++p) {
+    active[p] = g.process(p).guard.covered_by_context(context);
+  }
+  return active;
+}
+
+void enumerate_rec(const Cpg& g, const Cube& context,
+                   std::vector<AltPath>& out) {
+  const std::vector<bool> active = active_under_context(g, context);
+  // Find an active disjunction process whose condition is undecided.
+  // Deterministic choice: smallest condition id. (Any choice yields the
+  // same leaf set because conditions are independent.)
+  for (CondId c = 0; c < g.conditions().size(); ++c) {
+    if (context.mentions(c)) continue;
+    if (!active[g.disjunction_of(c)]) continue;
+    auto pos = context.conjoin(Literal{c, true});
+    auto neg = context.conjoin(Literal{c, false});
+    CPS_ASSERT(pos && neg, "undecided condition must be conjoinable");
+    enumerate_rec(g, *pos, out);
+    enumerate_rec(g, *neg, out);
+    return;
+  }
+  out.push_back(AltPath{context, active});
+}
+
+}  // namespace
+
+std::vector<AltPath> enumerate_paths(const Cpg& g) {
+  std::vector<AltPath> out;
+  enumerate_rec(g, Cube::top(), out);
+  return out;
+}
+
+AltPath path_for_assignment(const Cpg& g, const Assignment& a) {
+  CPS_REQUIRE(a.universe_size() == g.conditions().size(),
+              "assignment universe does not match the graph");
+  // Build the label: conditions whose disjunction process is active.
+  std::vector<Literal> lits;
+  for (CondId c = 0; c < g.conditions().size(); ++c) {
+    if (g.active_under(g.disjunction_of(c), a)) {
+      lits.push_back(Literal{c, a.value(c)});
+    }
+  }
+  AltPath path;
+  path.label = Cube(lits);
+  path.active.resize(g.process_count());
+  for (ProcessId p = 0; p < g.process_count(); ++p) {
+    path.active[p] = g.active_under(p, a);
+  }
+  return path;
+}
+
+}  // namespace cps

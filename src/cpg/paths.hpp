@@ -1,0 +1,39 @@
+// Alternative-path enumeration (paper §4).
+//
+// At every execution, the conditions select one subgraph G_k of the CPG.
+// An AltPath records the label L_k (the cube of condition values actually
+// encountered) and the set of processes active on the path. The number of
+// AltPaths is N_alt.
+#pragma once
+
+#include <vector>
+
+#include "cond/assignment.hpp"
+#include "cpg/cpg.hpp"
+
+namespace cps {
+
+struct AltPath {
+  /// Conjunction of the values of every condition whose disjunction
+  /// process executes on this path (the label L_k).
+  Cube label;
+  /// Per-process activation flags (indexed by ProcessId).
+  std::vector<bool> active;
+
+  /// Any complete assignment consistent with the label (don't-care
+  /// conditions are set to false).
+  Assignment representative(std::size_t universe_size) const {
+    return Assignment::from_cube(label, universe_size);
+  }
+};
+
+/// Enumerate every alternative path through the graph, in a deterministic
+/// order (depth-first over conditions in termination order, true branch
+/// first). The union of the labels covers every assignment; labels are
+/// pairwise incompatible.
+std::vector<AltPath> enumerate_paths(const Cpg& g);
+
+/// The alternative path selected by a complete assignment.
+AltPath path_for_assignment(const Cpg& g, const Assignment& a);
+
+}  // namespace cps

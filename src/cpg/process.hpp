@@ -1,0 +1,62 @@
+// Process and edge records of a conditional process graph (paper §2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "arch/architecture.hpp"
+#include "cond/condition.hpp"
+#include "cond/dnf.hpp"
+#include "graph/digraph.hpp"
+
+namespace cps {
+
+/// Index of a process within a Cpg (same id space as the underlying
+/// Digraph node ids).
+using ProcessId = NodeId;
+
+enum class ProcessKind : std::uint8_t {
+  kSource,    ///< dummy first process (zero execution time)
+  kSink,      ///< dummy last process (zero execution time)
+  kOrdinary,  ///< designer-specified process
+};
+
+struct Process {
+  ProcessId id = 0;
+  std::string name;
+  ProcessKind kind = ProcessKind::kOrdinary;
+  /// Processing element executing this process (function M, paper §2).
+  PeId mapping = 0;
+  /// Execution time on the mapped PE.
+  Time exec_time = 0;
+  /// Condition computed by this process, if it is a disjunction process.
+  std::optional<CondId> computes;
+  /// Conjunction processes are activated as soon as the inputs of one
+  /// active alternative have arrived (paper §2); marked by the designer.
+  bool conjunction = false;
+  /// Guard X_Pi: the necessary condition for activation. Computed by the
+  /// builder from the edge structure.
+  Dnf guard = Dnf::true_();
+
+  bool is_disjunction() const { return computes.has_value(); }
+  bool is_dummy() const { return kind != ProcessKind::kOrdinary; }
+};
+
+struct CpgEdge {
+  EdgeId id = 0;
+  ProcessId src = 0;
+  ProcessId dst = 0;
+  /// Set for conditional edges (thick edges of Fig. 1).
+  std::optional<Literal> literal;
+  /// Communication time when src and dst are mapped to different PEs
+  /// (ignored for intra-PE edges, which cost nothing).
+  Time comm_time = 0;
+  /// Bus carrying the communication when it is inter-PE. Filled by the
+  /// builder (explicitly or by the default round-robin policy).
+  std::optional<PeId> bus;
+
+  bool is_conditional() const { return literal.has_value(); }
+};
+
+}  // namespace cps

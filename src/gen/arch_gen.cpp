@@ -1,0 +1,42 @@
+#include "gen/arch_gen.hpp"
+
+namespace cps {
+
+Architecture generate_random_architecture(Rng& rng,
+                                          const RandomArchParams& params) {
+  CPS_REQUIRE(params.min_processors >= 1 &&
+                  params.min_processors <= params.max_processors,
+              "invalid processor bounds");
+  CPS_REQUIRE(params.min_buses >= 1 && params.min_buses <= params.max_buses,
+              "invalid bus bounds");
+  Architecture arch;
+  const auto n_proc = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(params.min_processors),
+      static_cast<std::int64_t>(params.max_processors)));
+  const auto n_bus = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(params.min_buses),
+                      static_cast<std::int64_t>(params.max_buses)));
+  for (std::size_t i = 0; i < n_proc; ++i) {
+    arch.add_processor("pe" + std::to_string(i + 1));
+  }
+  for (std::size_t i = 0; i < params.asics; ++i) {
+    arch.add_hardware("asic" + std::to_string(i + 1));
+  }
+  for (std::size_t i = 0; i < n_bus; ++i) {
+    arch.add_bus("bus" + std::to_string(i + 1));
+  }
+  arch.set_cond_broadcast_time(params.cond_broadcast_time);
+  return arch;
+}
+
+Architecture example_architecture() {
+  Architecture arch;
+  arch.add_processor("pe1");
+  arch.add_processor("pe2");
+  arch.add_hardware("pe3");
+  arch.add_bus("pe4");
+  arch.set_cond_broadcast_time(1);
+  return arch;
+}
+
+}  // namespace cps

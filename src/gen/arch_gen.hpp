@@ -1,0 +1,30 @@
+// Random architecture generation for the Fig. 5 / Fig. 6 experiments:
+// "architectures consisting of one ASIC and one to eleven processors and
+// one to eight busses" (paper §6).
+#pragma once
+
+#include "arch/architecture.hpp"
+#include "support/random.hpp"
+
+namespace cps {
+
+struct RandomArchParams {
+  std::size_t min_processors = 1;
+  std::size_t max_processors = 11;
+  std::size_t min_buses = 1;
+  std::size_t max_buses = 8;
+  /// Number of ASICs (the paper uses exactly one).
+  std::size_t asics = 1;
+  Time cond_broadcast_time = 1;
+};
+
+/// Draw an architecture uniformly within the parameter bounds. All buses
+/// connect all processors (paper §3 footnote 1 assumption).
+Architecture generate_random_architecture(Rng& rng,
+                                          const RandomArchParams& params = {});
+
+/// A fixed small architecture (2 processors + 1 ASIC + 1 bus) matching the
+/// Fig. 1 setting; handy for tests and examples.
+Architecture example_architecture();
+
+}  // namespace cps

@@ -1,0 +1,53 @@
+// Random conditional-process-graph generation (the 1080-graph workload of
+// paper §6: 60/80/120-node graphs with 10/12/18/24/32 alternative paths,
+// uniformly or exponentially distributed execution times).
+//
+// Construction is plan-driven so the number of alternative paths is hit
+// *exactly*: a path-count N is recursively decomposed into
+//   N = a * b  -> two blocks in series (independent condition regions), or
+//   N = a + b  -> a disjunction process with an a-plan on the true branch,
+//                 a b-plan on the false branch, meeting in a conjunction,
+// and the resulting skeleton is padded with extra processes and extra
+// forward data dependencies (guard-implication safe) up to the requested
+// node count.
+#pragma once
+
+#include <cstdint>
+
+#include "cpg/builder.hpp"
+#include "support/random.hpp"
+
+namespace cps {
+
+enum class TimeDistribution : std::uint8_t { kUniform, kExponential };
+
+const char* to_string(TimeDistribution d);
+
+struct RandomCpgParams {
+  /// Target number of ordinary processes (the skeleton may exceed it
+  /// slightly for large path counts; the generator then keeps the larger
+  /// size).
+  std::size_t process_count = 60;
+  /// Exact number of alternative paths (N_alt) the graph must have.
+  std::size_t path_count = 10;
+  TimeDistribution distribution = TimeDistribution::kUniform;
+  /// Uniform execution-time range / exponential mean.
+  Time exec_min = 1;
+  Time exec_max = 20;
+  double exec_mean = 8.0;
+  /// Communication-time range (inter-PE edges only). Must stay >= tau0.
+  Time comm_min = 1;
+  Time comm_max = 8;
+  double comm_mean = 4.0;
+  /// Extra forward data-dependency edges, as a fraction of process count.
+  double extra_edge_fraction = 0.4;
+  /// Probability that a process is mapped to a hardware PE (if any).
+  double hardware_fraction = 0.15;
+};
+
+/// Generate a validated CPG over the given architecture. Throws
+/// InvalidArgument on unsatisfiable parameters (e.g. path_count == 0).
+Cpg generate_random_cpg(const Architecture& arch,
+                        const RandomCpgParams& params, Rng& rng);
+
+}  // namespace cps

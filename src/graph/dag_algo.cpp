@@ -1,0 +1,125 @@
+#include "graph/dag_algo.hpp"
+
+#include <algorithm>
+
+namespace cps {
+
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> pending(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    pending[v] = g.in_degree(v);
+    if (pending[v] == 0) ready.push_back(v);
+  }
+  while (!ready.empty()) {
+    const NodeId v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (EdgeId e : g.out_edges(v)) {
+      const NodeId w = g.edge(e).dst;
+      if (--pending[w] == 0) ready.push_back(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+namespace {
+
+std::int64_t edge_w(const std::vector<std::int64_t>& edge_weight, EdgeId e) {
+  return edge_weight.empty() ? 0 : edge_weight[e];
+}
+
+}  // namespace
+
+std::vector<std::int64_t> longest_path_into(
+    const Digraph& g, const std::vector<std::int64_t>& node_weight,
+    const std::vector<std::int64_t>& edge_weight) {
+  CPS_REQUIRE(node_weight.size() == g.node_count(),
+              "node weight vector size mismatch");
+  CPS_REQUIRE(edge_weight.empty() || edge_weight.size() == g.edge_count(),
+              "edge weight vector size mismatch");
+  auto order = topological_order(g);
+  CPS_REQUIRE(order.has_value(), "longest_path_into requires a DAG");
+  std::vector<std::int64_t> dist(g.node_count());
+  for (NodeId v : *order) {
+    std::int64_t best = 0;
+    for (EdgeId e : g.in_edges(v)) {
+      const NodeId u = g.edge(e).src;
+      best = std::max(best, dist[u] + edge_w(edge_weight, e));
+    }
+    dist[v] = best + node_weight[v];
+  }
+  return dist;
+}
+
+std::vector<std::int64_t> longest_path_from(
+    const Digraph& g, const std::vector<std::int64_t>& node_weight,
+    const std::vector<std::int64_t>& edge_weight) {
+  CPS_REQUIRE(node_weight.size() == g.node_count(),
+              "node weight vector size mismatch");
+  CPS_REQUIRE(edge_weight.empty() || edge_weight.size() == g.edge_count(),
+              "edge weight vector size mismatch");
+  auto order = topological_order(g);
+  CPS_REQUIRE(order.has_value(), "longest_path_from requires a DAG");
+  std::vector<std::int64_t> dist(g.node_count());
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    std::int64_t best = 0;
+    for (EdgeId e : g.out_edges(v)) {
+      const NodeId w = g.edge(e).dst;
+      best = std::max(best, dist[w] + edge_w(edge_weight, e));
+    }
+    dist[v] = best + node_weight[v];
+  }
+  return dist;
+}
+
+namespace {
+
+std::vector<bool> flood(const Digraph& g, NodeId start, bool forward) {
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<NodeId> stack{start};
+  seen[start] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    const auto& edges = forward ? g.out_edges(v) : g.in_edges(v);
+    for (EdgeId e : edges) {
+      const NodeId w = forward ? g.edge(e).dst : g.edge(e).src;
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<bool> reachable_from(const Digraph& g, NodeId start) {
+  CPS_REQUIRE(start < g.node_count(), "node id out of range");
+  return flood(g, start, /*forward=*/true);
+}
+
+std::vector<bool> reaching(const Digraph& g, NodeId target) {
+  CPS_REQUIRE(target < g.node_count(), "node id out of range");
+  return flood(g, target, /*forward=*/false);
+}
+
+bool is_polar(const Digraph& g, NodeId source, NodeId sink) {
+  if (source >= g.node_count() || sink >= g.node_count()) return false;
+  if (g.in_degree(source) != 0 || g.out_degree(sink) != 0) return false;
+  const auto fwd = reachable_from(g, source);
+  const auto bwd = reaching(g, sink);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!fwd[v] || !bwd[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace cps

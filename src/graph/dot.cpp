@@ -1,0 +1,53 @@
+#include "graph/dot.hpp"
+
+namespace cps {
+
+namespace {
+
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Digraph& g, const DotStyle& style) {
+  os << "digraph " << style.graph_name << " {\n";
+  os << "  rankdir=TB;\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::string label =
+        style.node_label ? style.node_label(v) : "n" + std::to_string(v);
+    os << "  n" << v << " [label=\"" << escape_label(label) << "\"";
+    if (style.node_attrs) {
+      const std::string attrs = style.node_attrs(v);
+      if (!attrs.empty()) os << ", " << attrs;
+    }
+    os << "];\n";
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    os << "  n" << edge.src << " -> n" << edge.dst;
+    std::string inner;
+    if (style.edge_label) {
+      const std::string label = style.edge_label(e);
+      if (!label.empty()) inner = "label=\"" + escape_label(label) + "\"";
+    }
+    if (style.edge_attrs) {
+      const std::string attrs = style.edge_attrs(e);
+      if (!attrs.empty()) {
+        if (!inner.empty()) inner += ", ";
+        inner += attrs;
+      }
+    }
+    if (!inner.empty()) os << " [" << inner << "]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace cps

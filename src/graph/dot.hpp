@@ -1,0 +1,27 @@
+// Graphviz DOT export for generic digraphs (labels supplied by callbacks).
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace cps {
+
+struct DotStyle {
+  /// Node label; defaults to "n<i>".
+  std::function<std::string(NodeId)> node_label;
+  /// Extra node attributes, e.g. "shape=box" (may be empty).
+  std::function<std::string(NodeId)> node_attrs;
+  /// Edge label (may be empty).
+  std::function<std::string(EdgeId)> edge_label;
+  /// Extra edge attributes (may be empty).
+  std::function<std::string(EdgeId)> edge_attrs;
+  std::string graph_name = "g";
+};
+
+/// Write the graph in DOT syntax.
+void write_dot(std::ostream& os, const Digraph& g, const DotStyle& style);
+
+}  // namespace cps

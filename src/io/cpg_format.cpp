@@ -1,0 +1,299 @@
+#include "io/cpg_format.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "cpg/builder.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace cps {
+
+namespace {
+
+Time parse_time(const std::string& tok, int line_no) {
+  try {
+    std::size_t pos = 0;
+    const Time t = std::stoll(tok, &pos);
+    if (pos != tok.size() || t < 0) throw std::invalid_argument(tok);
+    return t;
+  } catch (const std::exception&) {
+    throw ParseError("line " + std::to_string(line_no) +
+                     ": expected a non-negative time, got '" + tok + "'");
+  }
+}
+
+double parse_speed(const std::string& tok, int line_no) {
+  try {
+    std::size_t pos = 0;
+    const double s = std::stod(tok, &pos);
+    if (pos != tok.size() || s <= 0) throw std::invalid_argument(tok);
+    return s;
+  } catch (const std::exception&) {
+    throw ParseError("line " + std::to_string(line_no) +
+                     ": expected a positive speed, got '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+Cpg parse_cpg(std::istream& is) {
+  enum class Section { kNone, kArch, kConditions, kProcesses,
+                       kConjunctions, kEdges };
+  Section section = Section::kNone;
+
+  Architecture arch;
+  bool arch_done = false;
+  std::optional<CpgBuilder> builder;
+  std::map<std::string, CondId> conds;
+  std::map<std::string, ProcessId> procs;
+  std::vector<std::string> pending_conditions;
+  std::vector<std::string> pending_conjunctions;
+
+  auto ensure_builder = [&]() -> CpgBuilder& {
+    if (!builder) {
+      arch_done = true;
+      builder.emplace(arch);
+      for (const std::string& name : pending_conditions) {
+        conds[name] = builder->add_condition(name);
+      }
+    }
+    return *builder;
+  };
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<std::string> tok = split_ws(line);
+    if (tok.empty()) continue;
+
+    if (tok[0][0] == '@') {
+      const std::string& s = tok[0];
+      if (s == "@arch") section = Section::kArch;
+      else if (s == "@conditions") section = Section::kConditions;
+      else if (s == "@processes") section = Section::kProcesses;
+      else if (s == "@conjunctions") section = Section::kConjunctions;
+      else if (s == "@edges") section = Section::kEdges;
+      else throw ParseError("line " + std::to_string(line_no) +
+                            ": unknown section " + s);
+      continue;
+    }
+
+    switch (section) {
+      case Section::kNone:
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": content before any @section");
+      case Section::kArch: {
+        if (arch_done) {
+          throw ParseError("line " + std::to_string(line_no) +
+                           ": @arch must precede @processes");
+        }
+        if (tok[0] == "tau0") {
+          if (tok.size() != 2) {
+            throw ParseError("line " + std::to_string(line_no) +
+                             ": tau0 expects one value");
+          }
+          arch.set_cond_broadcast_time(parse_time(tok[1], line_no));
+        } else if (tok[0] == "processor") {
+          if (tok.size() < 2 || tok.size() > 3) {
+            throw ParseError("line " + std::to_string(line_no) +
+                             ": processor expects name [speed]");
+          }
+          arch.add_processor(tok[1], tok.size() == 3
+                                         ? parse_speed(tok[2], line_no)
+                                         : 1.0);
+        } else if (tok[0] == "hardware") {
+          if (tok.size() != 2) {
+            throw ParseError("line " + std::to_string(line_no) +
+                             ": hardware expects a name");
+          }
+          arch.add_hardware(tok[1]);
+        } else if (tok[0] == "bus") {
+          if (tok.size() != 2) {
+            throw ParseError("line " + std::to_string(line_no) +
+                             ": bus expects a name");
+          }
+          arch.add_bus(tok[1]);
+        } else if (tok[0] == "memory") {
+          if (tok.size() != 2) {
+            throw ParseError("line " + std::to_string(line_no) +
+                             ": memory expects a name");
+          }
+          arch.add_memory(tok[1]);
+        } else {
+          throw ParseError("line " + std::to_string(line_no) +
+                           ": unknown @arch item " + tok[0]);
+        }
+        break;
+      }
+      case Section::kConditions: {
+        for (const std::string& name : tok) {
+          pending_conditions.push_back(name);
+        }
+        break;
+      }
+      case Section::kProcesses: {
+        if (tok.size() != 3) {
+          throw ParseError("line " + std::to_string(line_no) +
+                           ": process expects: name pe exec_time");
+        }
+        CpgBuilder& b = ensure_builder();
+        if (procs.count(tok[0])) {
+          throw ParseError("line " + std::to_string(line_no) +
+                           ": duplicate process " + tok[0]);
+        }
+        procs[tok[0]] =
+            b.add_process(tok[0], arch.id_of(tok[1]),
+                          parse_time(tok[2], line_no));
+        break;
+      }
+      case Section::kConjunctions: {
+        for (const std::string& name : tok) {
+          pending_conjunctions.push_back(name);
+        }
+        break;
+      }
+      case Section::kEdges: {
+        if (tok.size() < 2 || tok.size() > 4) {
+          throw ParseError("line " + std::to_string(line_no) +
+                           ": edge expects: src dst [literal] [comm]");
+        }
+        CpgBuilder& b = ensure_builder();
+        auto find_proc = [&](const std::string& name) {
+          auto it = procs.find(name);
+          if (it == procs.end()) {
+            throw ParseError("line " + std::to_string(line_no) +
+                             ": unknown process " + name);
+          }
+          return it->second;
+        };
+        const ProcessId src = find_proc(tok[0]);
+        const ProcessId dst = find_proc(tok[1]);
+        std::optional<Literal> literal;
+        Time comm = 0;
+        if (tok.size() >= 3) {
+          // Third token: a literal (condition name, optionally '!') or a
+          // communication time.
+          std::string t3 = tok[2];
+          bool neg = false;
+          if (!t3.empty() && t3[0] == '!') {
+            neg = true;
+            t3 = t3.substr(1);
+          }
+          auto it = conds.find(t3);
+          if (it != conds.end()) {
+            literal = Literal{it->second, !neg};
+            if (tok.size() == 4) comm = parse_time(tok[3], line_no);
+          } else if (!neg && tok.size() == 3) {
+            comm = parse_time(tok[2], line_no);
+          } else {
+            throw ParseError("line " + std::to_string(line_no) +
+                             ": unknown condition " + t3);
+          }
+        }
+        if (literal) {
+          b.add_cond_edge(src, dst, *literal, comm);
+        } else {
+          b.add_edge(src, dst, comm);
+        }
+        break;
+      }
+    }
+  }
+
+  CpgBuilder& b = ensure_builder();
+  for (const std::string& name : pending_conjunctions) {
+    auto it = procs.find(name);
+    if (it == procs.end()) {
+      throw ParseError("@conjunctions mentions unknown process " + name);
+    }
+    b.mark_conjunction(it->second);
+  }
+  return b.build();
+}
+
+Cpg parse_cpg_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_cpg(is);
+}
+
+Cpg parse_cpg_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ParseError("cannot open " + path);
+  return parse_cpg(is);
+}
+
+void write_cpg(std::ostream& os, const Cpg& g) {
+  const Architecture& arch = g.arch();
+  os << "@arch\n";
+  for (PeId id = 0; id < static_cast<PeId>(arch.pe_count()); ++id) {
+    const ProcessingElement& pe = arch.pe(id);
+    switch (pe.kind) {
+      case PeKind::kProcessor:
+        os << "processor " << pe.name << ' ' << pe.speed << '\n';
+        break;
+      case PeKind::kHardware:
+        os << "hardware " << pe.name << '\n';
+        break;
+      case PeKind::kBus:
+        os << "bus " << pe.name << '\n';
+        break;
+      case PeKind::kMemory:
+        os << "memory " << pe.name << '\n';
+        break;
+    }
+  }
+  os << "tau0 " << arch.cond_broadcast_time() << '\n';
+
+  if (g.conditions().size() > 0) {
+    os << "@conditions\n";
+    for (CondId c = 0; c < g.conditions().size(); ++c) {
+      const bool last = c + 1 == static_cast<CondId>(g.conditions().size());
+      os << g.conditions().name(c) << (last ? "\n" : " ");
+    }
+  }
+
+  os << "@processes\n";
+  for (const Process& p : g.processes()) {
+    if (p.is_dummy()) continue;
+    os << p.name << ' ' << arch.pe(p.mapping).name << ' ' << p.exec_time
+       << '\n';
+  }
+
+  bool any_conj = false;
+  for (const Process& p : g.processes()) {
+    if (!p.is_dummy() && p.conjunction) {
+      if (!any_conj) {
+        os << "@conjunctions\n";
+        any_conj = true;
+      }
+      os << p.name << '\n';
+    }
+  }
+
+  os << "@edges\n";
+  for (const CpgEdge& e : g.edges()) {
+    const Process& src = g.process(e.src);
+    const Process& dst = g.process(e.dst);
+    if (src.is_dummy() || dst.is_dummy()) continue;
+    os << src.name << ' ' << dst.name;
+    if (e.literal) {
+      os << ' ' << (e.literal->value ? "" : "!")
+         << g.conditions().name(e.literal->cond);
+    }
+    os << ' ' << e.comm_time << '\n';
+  }
+}
+
+std::string write_cpg_string(const Cpg& g) {
+  std::ostringstream os;
+  write_cpg(os, g);
+  return os.str();
+}
+
+}  // namespace cps

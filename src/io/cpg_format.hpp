@@ -1,0 +1,44 @@
+// Plain-text serialization of conditional process graphs (`.cpg` files).
+//
+// Format (line oriented, '#' starts a comment):
+//
+//   @arch
+//   processor pe1 1.0       # name [speed]
+//   hardware  pe3
+//   bus       pe4           # all buses connect all processors
+//   memory    mem1
+//   tau0 1                  # condition broadcast time
+//   @conditions
+//   C D K
+//   @processes
+//   P1 pe1 3                # name pe exec_time
+//   @conjunctions
+//   P17
+//   @edges
+//   P1 P3 1                 # src dst [comm_time]
+//   P2 P4 C 0               # src dst literal [comm_time]; '!' negates
+//   P2 P5 !C 3
+//
+// parse_cpg builds and validates the graph (dummy source/sink, guards);
+// write_cpg is its inverse for graphs built by any means.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cpg/cpg.hpp"
+
+namespace cps {
+
+/// Parse a `.cpg` document. Throws ParseError on malformed input and
+/// ValidationError on a structurally invalid model.
+Cpg parse_cpg(std::istream& is);
+Cpg parse_cpg_string(const std::string& text);
+Cpg parse_cpg_file(const std::string& path);
+
+/// Serialize; parse_cpg(write_cpg(g)) reproduces the model (dummy
+/// processes are omitted, they are re-created on parse).
+void write_cpg(std::ostream& os, const Cpg& g);
+std::string write_cpg_string(const Cpg& g);
+
+}  // namespace cps

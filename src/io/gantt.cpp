@@ -1,0 +1,61 @@
+#include "io/gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace cps {
+
+void render_gantt(std::ostream& os, const FlatGraph& fg,
+                  const PathSchedule& schedule, const GanttOptions& options) {
+  const Time scale = std::max<Time>(1, options.time_per_cell);
+
+  // Group scheduled tasks by resource.
+  std::map<PeId, std::vector<TaskId>> by_resource;
+  Time horizon = 0;
+  for (TaskId t = 0; t < fg.task_count(); ++t) {
+    if (!schedule.scheduled(t)) continue;
+    const Slot& s = schedule.slot(t);
+    if (s.end - s.start < options.min_duration) continue;
+    if (fg.task(t).is_process() && fg.task(t).duration == 0) continue;
+    by_resource[s.resource].push_back(t);
+    horizon = std::max(horizon, s.end);
+  }
+
+  if (!options.title.empty()) os << options.title << '\n';
+  const auto cells = static_cast<std::size_t>(horizon / scale + 1);
+
+  // Time ruler (marks every 10 cells).
+  std::string ruler(cells, ' ');
+  for (std::size_t i = 0; i < cells; i += 10) {
+    const std::string mark = std::to_string(i * static_cast<std::size_t>(scale));
+    for (std::size_t j = 0; j < mark.size() && i + j < cells; ++j) {
+      ruler[i + j] = mark[j];
+    }
+  }
+  os << pad_right("", 14) << ruler << '\n';
+
+  for (auto& [res, tasks] : by_resource) {
+    std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
+      return schedule.slot(a).start < schedule.slot(b).start;
+    });
+    std::string line(cells, '.');
+    for (TaskId t : tasks) {
+      const Slot& s = schedule.slot(t);
+      const auto from = static_cast<std::size_t>(s.start / scale);
+      auto to = static_cast<std::size_t>(s.end / scale);
+      if (to <= from) to = from + 1;  // zero-length tasks get one cell
+      const std::string& name = fg.task(t).name;
+      for (std::size_t i = from; i < to && i < cells; ++i) {
+        const std::size_t k = i - from;
+        line[i] = k < name.size() ? name[k] : '=';
+      }
+      if (to <= cells && to - from > name.size()) line[to - 1] = '|';
+    }
+    os << pad_right(fg.arch().pe(res).name, 13) << ' ' << line << '\n';
+  }
+}
+
+}  // namespace cps

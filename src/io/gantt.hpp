@@ -1,0 +1,25 @@
+// ASCII Gantt rendering of a PathSchedule (the Fig. 4 view).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace cps {
+
+struct GanttOptions {
+  /// Horizontal scale: model-time units per character cell (>= 1).
+  Time time_per_cell = 1;
+  /// Skip tasks shorter than this (0 = show everything).
+  Time min_duration = 0;
+  std::string title;
+};
+
+/// Render one row per resource; each task is drawn as `[name====]`
+/// (approximately) over its time span.
+void render_gantt(std::ostream& os, const FlatGraph& fg,
+                  const PathSchedule& schedule,
+                  const GanttOptions& options = {});
+
+}  // namespace cps

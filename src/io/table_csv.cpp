@@ -1,0 +1,45 @@
+#include "io/table_csv.hpp"
+
+#include "support/csv.hpp"
+
+namespace cps {
+
+void write_table_csv(std::ostream& os, const ScheduleTable& table) {
+  const FlatGraph& fg = table.flat_graph();
+  const ConditionSet& conds = fg.cpg().conditions();
+  CsvWriter csv(os);
+  csv.row({"task", "kind", "resource", "column", "start"});
+  for (TaskId t = 0; t < fg.task_count(); ++t) {
+    const Task& task = fg.task(t);
+    const char* kind = task.is_comm()        ? "comm"
+                       : task.is_broadcast() ? "broadcast"
+                                             : "process";
+    for (const TableEntry& e : table.row(t)) {
+      csv.cell(task.name)
+          .cell(kind)
+          .cell(fg.arch().pe(e.resource).name)
+          .cell(conds.render(e.column))
+          .cell(e.start);
+      csv.end_row();
+    }
+  }
+}
+
+void write_delay_csv(std::ostream& os, const FlatGraph& fg,
+                     const std::vector<AltPath>& paths,
+                     const DelayReport& report) {
+  CPS_REQUIRE(paths.size() == report.path_optimal.size() &&
+                  paths.size() == report.path_actual.size(),
+              "paths/report size mismatch");
+  const ConditionSet& conds = fg.cpg().conditions();
+  CsvWriter csv(os);
+  csv.row({"path", "optimal_delay", "table_delay"});
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    csv.cell(conds.render(paths[i].label))
+        .cell(report.path_optimal[i])
+        .cell(report.path_actual[i]);
+    csv.end_row();
+  }
+}
+
+}  // namespace cps

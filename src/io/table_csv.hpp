@@ -1,0 +1,20 @@
+// CSV export of schedule tables and delay reports, for downstream
+// analysis of experiment sweeps (plots of Fig. 5/6 style data).
+#pragma once
+
+#include <ostream>
+
+#include "sched/delay.hpp"
+#include "sched/schedule_table.hpp"
+
+namespace cps {
+
+/// One row per cell: task, kind, resource, column expression, start.
+void write_table_csv(std::ostream& os, const ScheduleTable& table);
+
+/// One row per alternative path: label, optimal delay, table delay.
+void write_delay_csv(std::ostream& os, const FlatGraph& fg,
+                     const std::vector<AltPath>& paths,
+                     const DelayReport& report);
+
+}  // namespace cps

@@ -1,0 +1,44 @@
+#include "io/table_render.hpp"
+
+#include "support/table_format.hpp"
+
+namespace cps {
+
+void render_schedule_table(std::ostream& os, const ScheduleTable& table,
+                           const TableRenderOptions& options) {
+  const FlatGraph& fg = table.flat_graph();
+  const ConditionSet& conds = fg.cpg().conditions();
+  const std::vector<Cube> columns = table.columns();
+
+  AsciiTable out;
+  std::vector<std::string> header{"process"};
+  for (const Cube& c : columns) header.push_back(conds.render(c));
+  out.header(std::move(header));
+
+  for (TaskId t = 0; t < fg.task_count(); ++t) {
+    const Task& task = fg.task(t);
+    if (task.is_comm() && !options.show_comm) continue;
+    if (task.is_broadcast() && !options.show_broadcasts) continue;
+    if (task.is_process() && fg.task(t).origin_process &&
+        fg.cpg().process(*task.origin_process).is_dummy()) {
+      continue;
+    }
+    const auto& row = table.row(t);
+    if (row.empty() && options.skip_empty_rows) continue;
+    std::vector<std::string> cells{task.name};
+    for (const Cube& col : columns) {
+      std::string cell;
+      for (const TableEntry& e : row) {
+        if (e.column == col) {
+          cell = std::to_string(e.start);
+          break;
+        }
+      }
+      cells.push_back(cell);
+    }
+    out.add_row(std::move(cells));
+  }
+  out.render(os);
+}
+
+}  // namespace cps

@@ -1,0 +1,24 @@
+// Rendering of a ScheduleTable in the style of the paper's Table 1: one
+// row per process/communication/condition, one column per condition-value
+// conjunction, cells holding activation times.
+#pragma once
+
+#include <ostream>
+
+#include "sched/schedule_table.hpp"
+
+namespace cps {
+
+struct TableRenderOptions {
+  /// Hide rows of tasks that never appear (should not happen).
+  bool skip_empty_rows = true;
+  /// Show communication rows (the black-dot processes).
+  bool show_comm = true;
+  /// Show condition broadcast rows (the last rows of Table 1).
+  bool show_broadcasts = true;
+};
+
+void render_schedule_table(std::ostream& os, const ScheduleTable& table,
+                           const TableRenderOptions& options = {});
+
+}  // namespace cps

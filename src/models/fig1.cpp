@@ -1,0 +1,69 @@
+#include "models/fig1.hpp"
+
+#include "cpg/builder.hpp"
+
+namespace cps {
+
+Cpg build_fig1_cpg() {
+  Architecture arch;
+  const PeId pe1 = arch.add_processor(Fig1Names::kPe1);
+  const PeId pe2 = arch.add_processor(Fig1Names::kPe2);
+  const PeId pe3 = arch.add_hardware(Fig1Names::kPe3);
+  arch.add_bus(Fig1Names::kBus);
+  arch.set_cond_broadcast_time(1);
+
+  CpgBuilder b(arch);
+  const CondId c = b.add_condition("C");
+  const CondId d = b.add_condition("D");
+  const CondId k = b.add_condition("K");
+
+  // Processes with the paper's mapping and execution times.
+  const ProcessId p1 = b.add_process("P1", pe1, 3);
+  const ProcessId p2 = b.add_process("P2", pe1, 4);
+  const ProcessId p3 = b.add_process("P3", pe2, 12);
+  const ProcessId p4 = b.add_process("P4", pe1, 5);
+  const ProcessId p5 = b.add_process("P5", pe2, 3);
+  const ProcessId p6 = b.add_process("P6", pe1, 5);
+  const ProcessId p7 = b.add_process("P7", pe2, 3);
+  const ProcessId p8 = b.add_process("P8", pe3, 4);
+  const ProcessId p9 = b.add_process("P9", pe1, 5);
+  const ProcessId p10 = b.add_process("P10", pe1, 5);
+  const ProcessId p11 = b.add_process("P11", pe2, 6);
+  const ProcessId p12 = b.add_process("P12", pe3, 6);
+  const ProcessId p13 = b.add_process("P13", pe1, 8);
+  const ProcessId p14 = b.add_process("P14", pe2, 2);
+  const ProcessId p15 = b.add_process("P15", pe2, 6);
+  const ProcessId p16 = b.add_process("P16", pe3, 4);
+  const ProcessId p17 = b.add_process("P17", pe2, 2);
+
+  // Cross-PE edges carry the paper's communication times t_{i,j};
+  // intra-PE edges cost nothing.
+  b.add_edge(p1, p3, 1);                          // t1,3 = 1
+  b.add_cond_edge(p2, p4, Literal{c, true});      // intra pe1
+  b.add_cond_edge(p2, p5, Literal{c, false}, 3);  // t2,5 = 3
+  b.add_edge(p3, p6, 2);                          // t3,6 = 2
+  b.add_edge(p3, p10, 2);                         // t3,10 = 2
+  b.add_edge(p4, p7, 3);                          // t4,7 = 3
+  b.add_edge(p6, p8, 3);                          // t6,8 = 3
+  b.add_edge(p7, p10, 2);                         // t7,10 = 2
+  b.add_edge(p8, p10, 2);                         // t8,10 = 2
+  b.add_edge(p9, p10);                            // intra pe1
+  b.add_cond_edge(p11, p12, Literal{d, true}, 1);   // t11,12 = 1
+  b.add_cond_edge(p11, p13, Literal{d, false}, 2);  // t11,13 = 2
+  b.add_cond_edge(p12, p14, Literal{k, true}, 1);   // t12,14 = 1
+  b.add_cond_edge(p12, p15, Literal{k, false}, 3);  // t12,15 = 3
+  b.add_edge(p13, p17, 2);                          // t13,17 = 2
+  b.add_edge(p14, p17);                             // intra pe2
+  b.add_edge(p15, p17);                             // intra pe2
+  b.add_edge(p16, p17, 2);                          // t16,17 = 2
+
+  // P17 joins the three alternatives D&K (via P14), D&!K (via P15) and
+  // !D (via P13), plus the unconditional input from P16: X_P17 = true.
+  b.mark_conjunction(p17);
+
+  (void)p5;  // the !C alternative ends after P5 (output feeds the sink)
+
+  return b.build();
+}
+
+}  // namespace cps

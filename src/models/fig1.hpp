@@ -1,0 +1,29 @@
+// The running example of the paper (Fig. 1): 17 ordinary processes on two
+// programmable processors, one ASIC and one shared bus, with conditions
+// C (computed by P2), D (by P11) and K (by P12).
+//
+// The paper's figure is not machine readable; this model reconstructs the
+// edge set from the published data (see DESIGN.md §4): the inter-processor
+// communication-time list fixes all cross-PE edges, the mapping table and
+// execution times are printed verbatim, the guard examples
+// (X_P3 = true, X_P5 = !C, X_P14 = D&K, X_P17 = true) anchor the
+// conditional structure, and the decision tree of Fig. 2 fixes the six
+// alternative paths {C,!C} x {D&K, D&!K, !D}.
+#pragma once
+
+#include "cpg/cpg.hpp"
+
+namespace cps {
+
+/// Names of the processing elements, as in the paper.
+struct Fig1Names {
+  static constexpr const char* kPe1 = "pe1";   // programmable processor
+  static constexpr const char* kPe2 = "pe2";   // programmable processor
+  static constexpr const char* kPe3 = "pe3";   // ASIC
+  static constexpr const char* kBus = "pe4";   // shared bus
+};
+
+/// Build the Fig. 1 conditional process graph (tau0 = 1 as in Table 1).
+Cpg build_fig1_cpg();
+
+}  // namespace cps

@@ -1,0 +1,27 @@
+#include "sched/baseline.hpp"
+
+#include "support/error.hpp"
+
+namespace cps {
+
+ObliviousResult oblivious_schedule(const FlatGraph& fg,
+                                   PriorityPolicy policy) {
+  EngineRequest req;
+  req.label = Cube::top();
+  req.active.assign(fg.task_count(), true);
+  for (TaskId t = 0; t < fg.task_count(); ++t) {
+    if (fg.task(t).is_broadcast()) req.active[t] = false;
+  }
+  req.priority = compute_priorities(fg, req.active, policy);
+  req.enforce_knowledge = false;
+
+  EngineResult res = run_list_scheduler(fg, std::move(req));
+  CPS_ASSERT(res.feasible,
+             "oblivious schedule must be feasible: " + res.reason);
+  ObliviousResult out;
+  out.delay = res.schedule.slot(fg.sink_task()).end;
+  out.schedule = std::move(res.schedule);
+  return out;
+}
+
+}  // namespace cps

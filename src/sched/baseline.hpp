@@ -1,0 +1,30 @@
+// Baseline schedulers used by the evaluation harness.
+//
+// The paper's quality reference is δ_M (per-path optimal). To situate the
+// contribution, the benchmarks also compare against a *condition-oblivious*
+// scheduler: it ignores the flow of control entirely and schedules every
+// process of the graph as if it always executed (the classical data-flow
+// view of [2,6]). Its single static schedule is trivially deterministic
+// but its delay envelope is pessimistic; the gap to δ_max quantifies what
+// condition awareness buys.
+#pragma once
+
+#include "sched/list_scheduler.hpp"
+
+namespace cps {
+
+struct ObliviousResult {
+  /// The single static schedule over all tasks.
+  PathSchedule schedule;
+  /// Its delay (activation time of the sink).
+  Time delay = 0;
+};
+
+/// Schedule every process/communication task, ignoring conditions:
+/// conditional edges always fire, conjunction processes wait for all
+/// inputs, no condition broadcasts are needed.
+ObliviousResult oblivious_schedule(
+    const FlatGraph& fg,
+    PriorityPolicy policy = PriorityPolicy::kCriticalPath);
+
+}  // namespace cps

@@ -1,0 +1,38 @@
+#include "sched/delay.hpp"
+
+#include <algorithm>
+
+#include "sched/table_sim.hpp"
+#include "support/error.hpp"
+
+namespace cps {
+
+DelayReport delay_report(const FlatGraph& fg,
+                         const std::vector<AltPath>& paths,
+                         const std::vector<PathSchedule>& schedules,
+                         const ScheduleTable& table) {
+  CPS_REQUIRE(paths.size() == schedules.size(),
+              "paths/schedules size mismatch");
+  DelayReport out;
+  out.path_optimal.reserve(paths.size());
+  out.path_actual.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const Time optimal = schedules[i].delay(fg);
+    const TableExecution exec = execute_table(fg, table, paths[i]);
+    CPS_ASSERT(exec.schedule.scheduled(fg.sink_task()),
+               "table does not activate the sink on path " +
+                   paths[i].label.to_string());
+    out.path_optimal.push_back(optimal);
+    out.path_actual.push_back(exec.delay);
+    out.delta_m = std::max(out.delta_m, optimal);
+    out.delta_max = std::max(out.delta_max, exec.delay);
+  }
+  if (out.delta_m > 0) {
+    out.increase_percent = 100.0 *
+                           static_cast<double>(out.delta_max - out.delta_m) /
+                           static_cast<double>(out.delta_m);
+  }
+  return out;
+}
+
+}  // namespace cps

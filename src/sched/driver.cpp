@@ -1,0 +1,42 @@
+#include "sched/driver.hpp"
+
+#include "support/strings.hpp"
+
+namespace cps {
+
+CoSynthesisResult schedule_cpg(const Cpg& g,
+                               const CoSynthesisOptions& options) {
+  auto flat = std::make_unique<FlatGraph>(FlatGraph::expand(g));
+  std::vector<AltPath> paths = enumerate_paths(g);
+
+  Rng rng(options.merge.random_seed);
+  std::vector<PathSchedule> schedules;
+  schedules.reserve(paths.size());
+  for (const AltPath& path : paths) {
+    schedules.push_back(
+        schedule_path(*flat, path, options.path_priority, &rng));
+  }
+
+  MergeResult merged =
+      merge_schedules(*flat, paths, schedules, options.merge);
+
+  if (options.validate) {
+    const TableValidation validation =
+        validate_table(*flat, merged.table, paths);
+    if (!validation.ok) {
+      throw ValidationError("generated schedule table is incoherent:\n  " +
+                            join(validation.violations, "\n  "));
+    }
+  }
+
+  DelayReport delays = delay_report(*flat, paths, schedules, merged.table);
+
+  return CoSynthesisResult{std::move(flat),
+                           std::move(paths),
+                           std::move(schedules),
+                           std::move(merged.table),
+                           merged.stats,
+                           std::move(delays)};
+}
+
+}  // namespace cps

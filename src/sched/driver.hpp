@@ -1,0 +1,43 @@
+// End-to-end driver: everything from a validated CPG to a validated
+// schedule table and its delay report. This is the API most users (and
+// all examples/benchmarks) call.
+#pragma once
+
+#include <memory>
+
+#include "sched/delay.hpp"
+#include "sched/merge.hpp"
+#include "sched/table_validate.hpp"
+
+namespace cps {
+
+struct CoSynthesisOptions {
+  PriorityPolicy path_priority = PriorityPolicy::kCriticalPath;
+  MergeOptions merge;
+  /// Validate the table (requirements 1-4) after merging; on violation a
+  /// ValidationError is thrown. Turn off only in benchmarks that measure
+  /// merge time in isolation.
+  bool validate = true;
+};
+
+/// Everything the flow produces. The FlatGraph is heap-allocated so the
+/// ScheduleTable's reference to it stays valid when the result is moved.
+struct CoSynthesisResult {
+  std::unique_ptr<FlatGraph> flat;
+  std::vector<AltPath> paths;
+  std::vector<PathSchedule> path_schedules;
+  ScheduleTable table;
+  MergeStats merge_stats;
+  DelayReport delays;
+
+  const FlatGraph& flat_graph() const { return *flat; }
+};
+
+/// Run the full flow of the paper: expand, enumerate alternative paths,
+/// schedule each path, merge into a schedule table, validate, and measure
+/// δ_M / δ_max. The Cpg must outlive the result (the FlatGraph holds a
+/// reference to it).
+CoSynthesisResult schedule_cpg(const Cpg& g,
+                               const CoSynthesisOptions& options = {});
+
+}  // namespace cps

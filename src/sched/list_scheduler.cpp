@@ -1,0 +1,356 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max();
+
+class Engine {
+ public:
+  Engine(const FlatGraph& fg, EngineRequest req)
+      : fg_(fg), req_(std::move(req)) {}
+
+  EngineResult run();
+
+ private:
+  bool active(TaskId t) const { return req_.active[t]; }
+  bool locked(TaskId t) const {
+    return !req_.locks.empty() && req_.locks[t].has_value();
+  }
+  const TaskLock& lock(TaskId t) const { return *req_.locks[t]; }
+
+  bool deps_done(TaskId t, Time now) const {
+    return pending_[t] == 0 && dep_ready_[t] <= now;
+  }
+
+  /// Condition-knowledge check for starting task t at `now` on `res`.
+  bool knowledge_ok(TaskId t, Time now, PeId res) const;
+
+  /// Does [now, now+dur) avoid every unstarted lock reservation on `res`?
+  bool fits(PeId res, Time now, Time dur) const;
+
+  void start_task(TaskId t, Time now, PeId res);
+  void complete_task(TaskId t, Time now);
+  bool try_starts(Time now);
+  EngineResult infeasible(TaskId t, const std::string& reason);
+
+  const FlatGraph& fg_;
+  EngineRequest req_;
+
+  PathSchedule sched_;
+  std::vector<std::size_t> pending_;    // unfinished active preds
+  std::vector<Time> dep_ready_;         // max end over finished preds
+  std::vector<bool> started_;
+  std::vector<bool> finished_;
+  // Sequential resource occupancy: end time of the running task (or -1).
+  std::vector<Time> busy_until_;
+  // Running tasks (for event extraction and completion processing).
+  std::vector<TaskId> running_;
+  // known_[res][cond]: time from which `cond` is known on `res` (kInf if
+  // not yet known).
+  std::vector<std::vector<Time>> known_;
+  std::size_t remaining_ = 0;
+};
+
+bool Engine::knowledge_ok(TaskId t, Time now, PeId res) const {
+  if (!req_.enforce_knowledge) return true;
+  const Task& task = fg_.task(t);
+  const bool conjunction =
+      task.origin_process &&
+      fg_.cpg().process(*task.origin_process).conjunction;
+  if (task.guard.is_true() && !conjunction) return true;
+
+  Cube known_cube;
+  for (CondId c = 0; c < fg_.cpg().conditions().size(); ++c) {
+    const auto value = req_.label.value_of(c);
+    if (!value) continue;
+    if (known_[res][c] > now) continue;
+    auto next = known_cube.conjoin(Literal{c, *value});
+    CPS_ASSERT(next.has_value(), "known cube cannot contradict itself");
+    known_cube = std::move(*next);
+  }
+  if (!task.guard.covered_by_context(known_cube)) return false;
+
+  // Conjunction processes (and the sink) are activated by whichever input
+  // alternative is selected, so their start time varies with conditions
+  // their own guard may not mention. A deterministic time-triggered
+  // scheduler on M(t) must be able to tell the alternatives apart:
+  // require that the known conditions *decide* the activity of every
+  // predecessor (paper §5.2, the premise behind Theorem 1).
+  if (conjunction) {
+    for (EdgeId e : fg_.deps().in_edges(t)) {
+      const TaskId pred = fg_.deps().edge(e).src;
+      const Dnf& pg = fg_.task(pred).guard;
+      if (pg.is_true()) continue;
+      if (req_.active[pred]) {
+        if (!pg.covered_by_context(known_cube)) return false;
+      } else {
+        if (!pg.and_cube(known_cube).is_false()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Engine::fits(PeId res, Time now, Time dur) const {
+  if (req_.locks.empty()) return true;
+  if (!fg_.arch().pe(res).sequential()) return true;
+  for (TaskId t = 0; t < fg_.task_count(); ++t) {
+    if (!active(t) || started_[t] || !locked(t)) continue;
+    const TaskLock& l = *req_.locks[t];
+    if (l.resource != res) continue;
+    const Time lock_end = l.start + fg_.task(t).duration;
+    if (l.start < now + dur && now < lock_end) return false;
+    // Zero-length occupations still forbid covering them with a running
+    // task: a lock at time s inside (now, now+dur) must stay reachable.
+    if (fg_.task(t).duration == 0 && l.start >= now && l.start < now + dur) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::start_task(TaskId t, Time now, PeId res) {
+  const Time dur = fg_.task(t).duration;
+  started_[t] = true;
+  sched_.place(t, now, now + dur, res);
+  if (dur == 0) {
+    complete_task(t, now);
+    return;
+  }
+  if (fg_.arch().pe(res).sequential()) {
+    busy_until_[res] = now + dur;
+  }
+  running_.push_back(t);
+}
+
+void Engine::complete_task(TaskId t, Time now) {
+  finished_[t] = true;
+  CPS_ASSERT(remaining_ > 0, "completion bookkeeping underflow");
+  --remaining_;
+  const Task& task = fg_.task(t);
+  for (EdgeId e : fg_.deps().out_edges(t)) {
+    const TaskId succ = fg_.deps().edge(e).dst;
+    if (!active(succ)) continue;
+    CPS_ASSERT(pending_[succ] > 0, "predecessor bookkeeping underflow");
+    --pending_[succ];
+    dep_ready_[succ] = std::max(dep_ready_[succ], now);
+  }
+  // Knowledge updates.
+  if (task.computes) {
+    const CondId c = *task.computes;
+    const PeId res = sched_.slot(t).resource;
+    known_[res][c] = std::min(known_[res][c], now);
+    if (!fg_.broadcasts_enabled()) {
+      // Single-resource models: the value is immediately visible (there is
+      // nobody else to inform).
+      for (auto& per_res : known_) per_res[c] = std::min(per_res[c], now);
+    }
+  }
+  if (task.broadcasts) {
+    const CondId c = *task.broadcasts;
+    for (auto& per_res : known_) per_res[c] = std::min(per_res[c], now);
+  }
+}
+
+bool Engine::try_starts(Time now) {
+  bool any = false;
+
+  // 1. Locked tasks reaching their fixed start time. A lock that cannot
+  //    start exactly at its reserved moment makes the request infeasible;
+  //    that is detected here and reported by run().
+  for (TaskId t = 0; t < fg_.task_count(); ++t) {
+    if (!active(t) || started_[t] || !locked(t)) continue;
+    if (lock(t).start != now) continue;
+    // Feasibility is re-checked in run() via pending_failure_; here we
+    // only start locks whose prerequisites hold.
+    if (!deps_done(t, now)) continue;
+    if (!knowledge_ok(t, now, lock(t).resource)) continue;
+    const PeId res = lock(t).resource;
+    if (fg_.arch().pe(res).sequential() && busy_until_[res] > now) continue;
+    start_task(t, now, res);
+    any = true;
+  }
+
+  // 2. Broadcast tasks: as soon as possible on the first available
+  //    all-connecting bus.
+  if (fg_.broadcasts_enabled()) {
+    for (TaskId t = 0; t < fg_.task_count(); ++t) {
+      const Task& task = fg_.task(t);
+      if (!task.is_broadcast() || !active(t) || started_[t] || locked(t)) {
+        continue;
+      }
+      if (!deps_done(t, now)) continue;
+      for (PeId bus : fg_.broadcast_buses()) {
+        if (busy_until_[bus] > now) continue;
+        if (!fits(bus, now, task.duration)) continue;
+        if (!knowledge_ok(t, now, bus)) continue;
+        start_task(t, now, bus);
+        any = true;
+        break;
+      }
+    }
+  }
+
+  // 3. Unlocked tasks on sequential resources: per free resource pick the
+  //    ready task with the highest priority.
+  for (PeId res : fg_.used_resources()) {
+    if (!fg_.arch().pe(res).sequential()) continue;
+    bool started_one = true;
+    while (started_one) {  // zero-duration tasks free the resource again
+      started_one = false;
+      if (busy_until_[res] > now) break;
+      TaskId best = 0;
+      bool have = false;
+      for (TaskId t = 0; t < fg_.task_count(); ++t) {
+        const Task& task = fg_.task(t);
+        if (task.is_broadcast() || task.resource != res) continue;
+        if (!active(t) || started_[t] || locked(t)) continue;
+        if (!deps_done(t, now)) continue;
+        if (!fits(res, now, task.duration)) continue;
+        if (!knowledge_ok(t, now, res)) continue;
+        if (!have || req_.priority[t] > req_.priority[best] ||
+            (req_.priority[t] == req_.priority[best] && t < best)) {
+          best = t;
+          have = true;
+        }
+      }
+      if (have) {
+        start_task(best, now, res);
+        any = true;
+        started_one = true;
+      }
+    }
+  }
+
+  // 4. Hardware resources run everything that is ready.
+  for (TaskId t = 0; t < fg_.task_count(); ++t) {
+    const Task& task = fg_.task(t);
+    if (task.is_broadcast() || active(t) == false || started_[t]) continue;
+    if (locked(t)) continue;
+    if (fg_.arch().pe(task.resource).sequential()) continue;
+    if (!deps_done(t, now)) continue;
+    if (!knowledge_ok(t, now, task.resource)) continue;
+    start_task(t, now, task.resource);
+    any = true;
+  }
+
+  return any;
+}
+
+EngineResult Engine::infeasible(TaskId t, const std::string& reason) {
+  EngineResult out;
+  out.feasible = false;
+  out.offending_lock = t;
+  out.reason = reason;
+  return out;
+}
+
+EngineResult Engine::run() {
+  const std::size_t n = fg_.task_count();
+  CPS_REQUIRE(req_.active.size() == n, "active vector size mismatch");
+  CPS_REQUIRE(req_.priority.size() == n, "priority vector size mismatch");
+  CPS_REQUIRE(req_.locks.empty() || req_.locks.size() == n,
+              "locks vector size mismatch");
+
+  sched_ = PathSchedule(n);
+  pending_.assign(n, 0);
+  dep_ready_.assign(n, 0);
+  started_.assign(n, false);
+  finished_.assign(n, false);
+  busy_until_.assign(fg_.arch().pe_count(), -1);
+  known_.assign(fg_.arch().pe_count(),
+                std::vector<Time>(fg_.cpg().conditions().size(), kInf));
+  remaining_ = 0;
+  for (TaskId t = 0; t < n; ++t) {
+    if (!active(t)) continue;
+    ++remaining_;
+    for (EdgeId e : fg_.deps().in_edges(t)) {
+      if (active(fg_.deps().edge(e).src)) ++pending_[t];
+    }
+  }
+
+  Time now = 0;
+  while (remaining_ > 0) {
+    // Start everything that can start at `now` (repeat until fixpoint:
+    // zero-duration completions can enable further starts at this time).
+    while (try_starts(now)) {
+    }
+
+    if (remaining_ == 0) break;
+
+    // A locked task whose start time has arrived but which could not be
+    // started is a hard failure: the reservation cannot be honored.
+    for (TaskId t = 0; t < n; ++t) {
+      if (active(t) && locked(t) && !started_[t] && lock(t).start <= now) {
+        return infeasible(
+            t, "locked task " + fg_.task(t).name +
+                   " cannot start at its reserved time " +
+                   std::to_string(lock(t).start));
+      }
+    }
+
+    // Advance to the next event: a completion or a future lock start.
+    Time next = kInf;
+    for (TaskId t : running_) {
+      if (!finished_[t]) next = std::min(next, sched_.slot(t).end);
+    }
+    for (TaskId t = 0; t < n; ++t) {
+      if (active(t) && locked(t) && !started_[t]) {
+        next = std::min(next, lock(t).start);
+      }
+    }
+    if (next == kInf || next <= now) {
+      EngineResult out;
+      out.feasible = false;
+      out.reason = "scheduling deadlock (no startable task and no pending "
+                   "event)";
+      return out;
+    }
+    now = next;
+    // Process completions at `now`.
+    std::vector<TaskId> still_running;
+    still_running.reserve(running_.size());
+    for (TaskId t : running_) {
+      if (finished_[t]) continue;
+      if (sched_.slot(t).end == now) {
+        complete_task(t, now);
+      } else {
+        still_running.push_back(t);
+      }
+    }
+    running_ = std::move(still_running);
+  }
+
+  EngineResult out;
+  out.feasible = true;
+  out.schedule = std::move(sched_);
+  return out;
+}
+
+}  // namespace
+
+EngineResult run_list_scheduler(const FlatGraph& fg, EngineRequest request) {
+  Engine engine(fg, std::move(request));
+  return engine.run();
+}
+
+PathSchedule schedule_path(const FlatGraph& fg, const AltPath& path,
+                           PriorityPolicy policy, Rng* rng) {
+  EngineRequest req;
+  req.label = path.label;
+  req.active = fg.active_tasks(path.label);
+  req.priority = compute_priorities(fg, req.active, policy, rng);
+  EngineResult res = run_list_scheduler(fg, std::move(req));
+  CPS_ASSERT(res.feasible,
+             "validated CPG path must be schedulable: " + res.reason);
+  return std::move(res.schedule);
+}
+
+}  // namespace cps

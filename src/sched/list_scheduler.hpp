@@ -1,0 +1,75 @@
+// Event-driven non-preemptive list scheduler for one alternative path.
+//
+// This single engine serves three callers:
+//  1. per-path "(near) optimal" scheduling (paper §4 step 1) with
+//     critical-path priorities;
+//  2. schedule *adjustment* during table merging (paper §5.1 rule 3):
+//     locked tasks are fixed reservations, unlocked tasks are re-scheduled
+//     ASAP while keeping their original relative order;
+//  3. the condition-oblivious baseline (all tasks active, knowledge
+//     checks disabled).
+//
+// Semantics enforced:
+//  * programmable processors / buses / memory modules execute one task at
+//    a time; hardware PEs run tasks in parallel (paper §2);
+//  * a task starts only after every predecessor that is active on the
+//    path has completed;
+//  * a task starts only when the condition values known on its resource
+//    at that moment imply its guard (knowledge rule, DESIGN.md §5.1);
+//    a condition is known on the disjunction's own PE at the
+//    disjunction's end and elsewhere at the end of its broadcast;
+//  * broadcast tasks are scheduled as soon as possible on the first
+//    available all-connecting bus (paper §3) and take precedence over
+//    data communications that become ready at the same moment.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpg/flat_graph.hpp"
+#include "sched/priority.hpp"
+#include "sched/schedule.hpp"
+
+namespace cps {
+
+/// A fixed reservation for a task (merge adjustment).
+struct TaskLock {
+  Time start = 0;
+  PeId resource = 0;
+};
+
+struct EngineRequest {
+  /// Path label: provides the value of every condition the guards can see.
+  Cube label;
+  /// Active tasks on the path (size = task_count).
+  std::vector<bool> active;
+  /// Static priorities (higher scheduled first; size = task_count).
+  std::vector<std::int64_t> priority;
+  /// Optional per-task locks (empty, or size = task_count).
+  std::vector<std::optional<TaskLock>> locks;
+  /// Enforce the condition-knowledge rule (off for the oblivious baseline).
+  bool enforce_knowledge = true;
+};
+
+struct EngineResult {
+  bool feasible = false;
+  PathSchedule schedule;
+  /// When infeasible because a locked task could not start at its fixed
+  /// time, the offending task (lets the merge relax that lock).
+  std::optional<TaskId> offending_lock;
+  std::string reason;
+};
+
+/// Run the engine. Never throws on schedulable input; reports
+/// infeasibility through the result.
+EngineResult run_list_scheduler(const FlatGraph& fg, EngineRequest request);
+
+/// Convenience wrapper: schedule one alternative path with the given
+/// priority policy (initial per-path scheduling). Throws InternalError if
+/// the path is unschedulable (cannot happen for a validated CPG).
+PathSchedule schedule_path(const FlatGraph& fg, const AltPath& path,
+                           PriorityPolicy policy = PriorityPolicy::kCriticalPath,
+                           Rng* rng = nullptr);
+
+}  // namespace cps

@@ -1,0 +1,323 @@
+#include "sched/merge.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+const char* to_string(PathSelection s) {
+  switch (s) {
+    case PathSelection::kLongestFirst: return "longest-first";
+    case PathSelection::kShortestFirst: return "shortest-first";
+    case PathSelection::kRandom: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max();
+
+class Merger {
+ public:
+  Merger(const FlatGraph& fg, const std::vector<AltPath>& paths,
+         const std::vector<PathSchedule>& schedules,
+         const MergeOptions& options)
+      : fg_(fg),
+        paths_(paths),
+        scheds_(schedules),
+        opts_(options),
+        rng_(options.random_seed),
+        table_(fg) {}
+
+  MergeResult run();
+
+ private:
+  std::vector<std::size_t> reachable_under(const Cube& decided) const;
+  std::size_t select(const std::vector<std::size_t>& reachable);
+  Cube column_for(const PathSchedule& s, const Cube& label, TaskId t) const;
+  void place(const PathSchedule& s, const Cube& label, TaskId t);
+  PathSchedule adjust(const Cube& ancestors, const Cube& decided,
+                      std::size_t cur);
+  void dfs(const Cube& decided, std::size_t cur, const PathSchedule& sched,
+           std::vector<bool> done);
+
+  const FlatGraph& fg_;
+  const std::vector<AltPath>& paths_;
+  const std::vector<PathSchedule>& scheds_;
+  MergeOptions opts_;
+  Rng rng_;
+  std::vector<Time> deltas_;
+  ScheduleTable table_;
+  MergeStats stats_;
+};
+
+std::vector<std::size_t> Merger::reachable_under(const Cube& decided) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (paths_[i].label.compatible(decided)) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Merger::select(const std::vector<std::size_t>& reachable) {
+  CPS_ASSERT(!reachable.empty(), "path selection from empty set");
+  switch (opts_.selection) {
+    case PathSelection::kLongestFirst: {
+      std::size_t best = reachable.front();
+      for (std::size_t i : reachable) {
+        if (deltas_[i] > deltas_[best]) best = i;
+      }
+      return best;
+    }
+    case PathSelection::kShortestFirst: {
+      std::size_t best = reachable.front();
+      for (std::size_t i : reachable) {
+        if (deltas_[i] < deltas_[best]) best = i;
+      }
+      return best;
+    }
+    case PathSelection::kRandom:
+      return reachable[rng_.index(reachable.size())];
+  }
+  return reachable.front();
+}
+
+Cube Merger::column_for(const PathSchedule& s, const Cube& label,
+                        TaskId t) const {
+  const Slot& slot = s.slot(t);
+  Cube col;
+  for (const Literal& lit : label.literals()) {
+    const TaskId disj = fg_.disjunction_task(lit.cond);
+    if (!s.scheduled(disj)) continue;
+    Time known_time;
+    if (s.slot(disj).resource == slot.resource) {
+      known_time = s.slot(disj).end;
+    } else if (auto bcast = fg_.broadcast_task(lit.cond);
+               bcast && s.scheduled(*bcast)) {
+      known_time = s.slot(*bcast).end;
+    } else {
+      // Single-resource models: a value is visible everywhere as soon as
+      // the disjunction terminates (matching the engine's knowledge rule).
+      known_time = s.slot(disj).end;
+    }
+    if (known_time <= slot.start) {
+      auto next = col.conjoin(lit);
+      CPS_ASSERT(next.has_value(), "label literals cannot contradict");
+      col = std::move(*next);
+    }
+  }
+  return col;
+}
+
+void Merger::place(const PathSchedule& s, const Cube& label, TaskId t) {
+  const Slot& slot = s.slot(t);
+  const Cube col = column_for(s, label, t);
+  const AddEntryResult res =
+      table_.add_entry(t, col, slot.start, slot.resource);
+  if (res == AddEntryResult::kClash) ++stats_.column_clashes;
+}
+
+PathSchedule Merger::adjust(const Cube& ancestors, const Cube& decided,
+                            std::size_t cur) {
+  ++stats_.adjustments;
+  if (opts_.trace) {
+    std::cerr << "[merge] adjust path " << cur << " label "
+              << paths_[cur].label.to_string() << " decided "
+              << decided.to_string() << " ancestors "
+              << ancestors.to_string() << "\n";
+  }
+  const AltPath& path = paths_[cur];
+
+  EngineRequest base;
+  base.label = path.label;
+  base.active = fg_.active_tasks(path.label);
+  base.locks.assign(fg_.task_count(), std::nullopt);
+
+  // Rule 3: lock tasks whose activation time was already fixed in a column
+  // decided entirely at ancestors of the branching node.
+  for (TaskId t = 0; t < fg_.task_count(); ++t) {
+    if (!base.active[t]) continue;
+    for (const TableEntry& e : table_.row(t)) {
+      if (!e.column.conditions_subset_of(ancestors)) continue;
+      if (!e.column.compatible(decided)) continue;
+      base.locks[t] = TaskLock{e.start, e.resource};
+      ++stats_.locks;
+      if (opts_.trace) {
+        std::cerr << "[merge]   lock " << fg_.task(t).name << " @"
+                  << e.start << " from column " << e.column.to_string()
+                  << "\n";
+      }
+      break;
+    }
+  }
+
+  // Unlocked tasks keep the relative order of the path's optimal schedule.
+  const PathSchedule& orig = scheds_[cur];
+  base.priority.assign(fg_.task_count(), 0);
+  for (TaskId t = 0; t < fg_.task_count(); ++t) {
+    if (orig.scheduled(t)) base.priority[t] = -orig.slot(t).start;
+  }
+
+  // Run, relaxing any lock that turns out infeasible on this path (rare;
+  // counted in the stats).
+  EngineResult result;
+  while (true) {
+    result = run_list_scheduler(fg_, base);
+    if (result.feasible) break;
+    if (result.offending_lock && base.locks[*result.offending_lock]) {
+      if (opts_.trace) {
+        std::cerr << "[merge]   RELAX lock on "
+                  << fg_.task(*result.offending_lock).name << " ("
+                  << result.reason << ")\n";
+      }
+      base.locks[*result.offending_lock].reset();
+      ++stats_.relaxed_locks;
+      continue;
+    }
+    CPS_ASSERT(false, "adjustment unschedulable: " + result.reason);
+  }
+  PathSchedule adjusted = std::move(result.schedule);
+
+  // §5.2 conflict handling. Each iteration pins one more task, so the
+  // loop terminates after at most task_count iterations.
+  while (true) {
+    std::optional<TaskId> conflict_task;
+    std::vector<TableEntry> w;
+    for (TaskId t : adjusted.tasks_by_start()) {
+      if (base.locks[t]) continue;
+      const Cube col = column_for(adjusted, path.label, t);
+      auto confl = table_.conflicting_entries(
+          t, col, adjusted.slot(t).start, adjusted.slot(t).resource);
+      if (!confl.empty()) {
+        conflict_task = t;
+        w = std::move(confl);
+        break;
+      }
+    }
+    if (!conflict_task) break;
+    ++stats_.conflicts;
+    if (opts_.trace) {
+      std::cerr << "[merge]   CONFLICT on " << fg_.task(*conflict_task).name
+                << " at " << adjusted.slot(*conflict_task).start
+                << " col "
+                << column_for(adjusted, paths_[cur].label, *conflict_task)
+                       .to_string()
+                << " with " << w.size() << " entries\n";
+    }
+
+    bool resolved = false;
+    for (const TableEntry& cand : w) {
+      auto trial = base;
+      trial.locks[*conflict_task] = TaskLock{cand.start, cand.resource};
+      EngineResult tr = run_list_scheduler(fg_, trial);
+      if (!tr.feasible) continue;
+      const Cube col = column_for(tr.schedule, path.label, *conflict_task);
+      if (!table_
+               .conflicting_entries(*conflict_task, col, cand.start,
+                                    cand.resource)
+               .empty()) {
+        continue;
+      }
+      base.locks = std::move(trial.locks);
+      adjusted = std::move(tr.schedule);
+      ++stats_.conflict_moves;
+      resolved = true;
+      break;
+    }
+    if (opts_.trace && resolved) {
+      std::cerr << "[merge]   resolved by move\n";
+    }
+    if (!resolved) {
+      if (opts_.trace) std::cerr << "[merge]   UNRESOLVED\n";
+      // Theorem 2 guarantees a candidate on well-formed inputs; if none
+      // worked, freeze the task where it is so the walk terminates and let
+      // the validator surface the residual nondeterminism.
+      ++stats_.unresolved_conflicts;
+      base.locks[*conflict_task] =
+          TaskLock{adjusted.slot(*conflict_task).start,
+                   adjusted.slot(*conflict_task).resource};
+    }
+  }
+  return adjusted;
+}
+
+void Merger::dfs(const Cube& decided, std::size_t cur,
+                 const PathSchedule& sched, std::vector<bool> done) {
+  const Cube& label = paths_[cur].label;
+
+  // Next undecided condition to be computed according to the current
+  // schedule (the next node of the decision tree on this branch).
+  Time tau = kInf;
+  CondId next_cond = 0;
+  bool branching = false;
+  for (const Literal& lit : label.literals()) {
+    if (decided.mentions(lit.cond)) continue;
+    const TaskId disj = fg_.disjunction_task(lit.cond);
+    if (!sched.scheduled(disj)) continue;
+    const Time end = sched.slot(disj).end;
+    if (!branching || end < tau || (end == tau && lit.cond < next_cond)) {
+      tau = end;
+      next_cond = lit.cond;
+      branching = true;
+    }
+  }
+
+  // Fix start times from the current schedule into the table, up to the
+  // branching moment (everything, on a leaf).
+  for (TaskId t : sched.tasks_by_start()) {
+    if (done[t]) continue;
+    if (branching && sched.slot(t).start >= tau) continue;
+    place(sched, label, t);
+    done[t] = true;
+  }
+  if (!branching) return;  // leaf of the decision tree
+
+  const bool value = *label.value_of(next_cond);
+  auto same = decided.conjoin(Literal{next_cond, value});
+  auto flip = decided.conjoin(Literal{next_cond, !value});
+  CPS_ASSERT(same && flip, "branching condition was undecided");
+
+  // Follow the current schedule (no back-step).
+  dfs(*same, cur, sched, done);
+
+  // Back-step: explore the opposite condition value.
+  const auto reachable = reachable_under(*flip);
+  if (!reachable.empty()) {
+    ++stats_.backsteps;
+    const std::size_t next_cur = select(reachable);
+    const PathSchedule adjusted = adjust(decided, *flip, next_cur);
+    dfs(*flip, next_cur, adjusted, done);
+  }
+}
+
+MergeResult Merger::run() {
+  CPS_REQUIRE(!paths_.empty(), "merge needs at least one path");
+  CPS_REQUIRE(paths_.size() == scheds_.size(),
+              "paths/schedules size mismatch");
+  deltas_.resize(paths_.size());
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    deltas_[i] = scheds_[i].delay(fg_);
+  }
+  std::vector<std::size_t> all(paths_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const std::size_t cur = select(all);
+  dfs(Cube::top(), cur, scheds_[cur],
+      std::vector<bool>(fg_.task_count(), false));
+  return MergeResult{std::move(table_), stats_};
+}
+
+}  // namespace
+
+MergeResult merge_schedules(const FlatGraph& fg,
+                            const std::vector<AltPath>& paths,
+                            const std::vector<PathSchedule>& schedules,
+                            const MergeOptions& options) {
+  Merger merger(fg, paths, schedules, options);
+  return merger.run();
+}
+
+}  // namespace cps

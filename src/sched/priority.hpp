@@ -1,0 +1,29 @@
+// List-scheduling priority policies (companion report [5] uses a critical-
+// path driven list scheduler; the alternatives exist for the ablation
+// benchmark bench_ablation_priority).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpg/flat_graph.hpp"
+#include "support/random.hpp"
+
+namespace cps {
+
+enum class PriorityPolicy : std::uint8_t {
+  kCriticalPath,  ///< longest path to the sink through active tasks
+  kTaskOrder,     ///< static order by task id (an "uninformed" baseline)
+  kRandom,        ///< random static priorities (ablation lower bound)
+};
+
+const char* to_string(PriorityPolicy p);
+
+/// Priority per task (higher = scheduled first); tasks outside `active`
+/// get priority 0 and are never consulted.
+std::vector<std::int64_t> compute_priorities(const FlatGraph& fg,
+                                             const std::vector<bool>& active,
+                                             PriorityPolicy policy,
+                                             Rng* rng = nullptr);
+
+}  // namespace cps

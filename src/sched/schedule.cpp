@@ -1,0 +1,35 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace cps {
+
+Time PathSchedule::makespan() const {
+  Time m = 0;
+  for (const Slot& s : slots_) {
+    if (s.scheduled()) m = std::max(m, s.end);
+  }
+  return m;
+}
+
+Time PathSchedule::delay(const FlatGraph& fg) const {
+  const Slot& s = slot(fg.sink_task());
+  CPS_REQUIRE(s.scheduled(), "sink task is not scheduled");
+  return s.end;
+}
+
+std::vector<TaskId> PathSchedule::tasks_by_start() const {
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < slots_.size(); ++t) {
+    if (slots_[t].scheduled()) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end(), [this](TaskId a, TaskId b) {
+    if (slots_[a].start != slots_[b].start) {
+      return slots_[a].start < slots_[b].start;
+    }
+    return a < b;
+  });
+  return out;
+}
+
+}  // namespace cps

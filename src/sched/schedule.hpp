@@ -1,0 +1,55 @@
+// PathSchedule: a concrete non-preemptive schedule of the tasks of one
+// alternative path (start/end times plus the resource actually used, which
+// matters for condition broadcasts that pick a bus dynamically).
+#pragma once
+
+#include <vector>
+
+#include "cpg/flat_graph.hpp"
+
+namespace cps {
+
+struct Slot {
+  Time start = -1;
+  Time end = -1;
+  PeId resource = 0;
+
+  bool scheduled() const { return start >= 0; }
+};
+
+class PathSchedule {
+ public:
+  PathSchedule() = default;
+  explicit PathSchedule(std::size_t task_count) : slots_(task_count) {}
+
+  std::size_t task_count() const { return slots_.size(); }
+
+  const Slot& slot(TaskId t) const {
+    CPS_REQUIRE(t < slots_.size(), "task id out of range");
+    return slots_[t];
+  }
+  bool scheduled(TaskId t) const { return slot(t).scheduled(); }
+
+  void place(TaskId t, Time start, Time end, PeId resource) {
+    CPS_REQUIRE(t < slots_.size(), "task id out of range");
+    CPS_REQUIRE(start >= 0 && end >= start, "malformed slot");
+    slots_[t] = Slot{start, end, resource};
+  }
+
+  /// Largest end time over all scheduled tasks (includes trailing
+  /// broadcasts/communications).
+  Time makespan() const;
+
+  /// The system delay: activation time of the sink process (paper §2).
+  /// Requires the sink task to be scheduled.
+  Time delay(const FlatGraph& fg) const;
+
+  /// Scheduled task ids sorted by (start, id) — the placement order used
+  /// by the schedule-table generation walk.
+  std::vector<TaskId> tasks_by_start() const;
+
+ private:
+  std::vector<Slot> slots_;
+};
+
+}  // namespace cps

@@ -1,0 +1,93 @@
+#include "sched/schedule_table.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+ScheduleTable::ScheduleTable(const FlatGraph& fg)
+    : fg_(&fg), rows_(fg.task_count()) {}
+
+const std::vector<TableEntry>& ScheduleTable::row(TaskId t) const {
+  CPS_REQUIRE(t < rows_.size(), "task id out of range");
+  return rows_[t];
+}
+
+AddEntryResult ScheduleTable::add_entry(TaskId t, const Cube& column,
+                                        Time start, PeId resource) {
+  CPS_REQUIRE(t < rows_.size(), "task id out of range");
+  CPS_REQUIRE(start >= 0, "activation times are non-negative");
+  for (const TableEntry& e : rows_[t]) {
+    if (e.column == column) {
+      if (e.start == start && e.resource == resource) {
+        return AddEntryResult::kDuplicate;
+      }
+      return AddEntryResult::kClash;
+    }
+  }
+  rows_[t].push_back(TableEntry{column, start, resource});
+  return AddEntryResult::kAdded;
+}
+
+std::vector<TableEntry> ScheduleTable::conflicting_entries(
+    TaskId t, const Cube& column, Time start, PeId resource) const {
+  std::vector<TableEntry> out;
+  for (const TableEntry& e : row(t)) {
+    if (!e.column.compatible(column)) continue;
+    if (e.start == start && e.resource == resource) continue;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TableEntry& a, const TableEntry& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.resource < b.resource;
+            });
+  return out;
+}
+
+std::vector<TableEntry> ScheduleTable::matching(TaskId t,
+                                                const Cube& label) const {
+  std::vector<TableEntry> out;
+  for (const TableEntry& e : row(t)) {
+    if (label.implies(e.column)) out.push_back(e);
+  }
+  return out;
+}
+
+std::optional<TableEntry> ScheduleTable::activation(
+    TaskId t, const Cube& label) const {
+  std::optional<TableEntry> found;
+  for (const TableEntry& e : matching(t, label)) {
+    if (found) {
+      CPS_ASSERT(found->start == e.start && found->resource == e.resource,
+                 "ambiguous activation for task " + fg_->task(t).name +
+                     " under label " + label.to_string() +
+                     " (requirement 2 violated)");
+      continue;
+    }
+    found = e;
+  }
+  return found;
+}
+
+std::vector<Cube> ScheduleTable::columns() const {
+  std::vector<Cube> out;
+  for (const auto& row : rows_) {
+    for (const TableEntry& e : row) out.push_back(e.column);
+  }
+  std::sort(out.begin(), out.end(), [](const Cube& a, const Cube& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t ScheduleTable::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) n += row.size();
+  return n;
+}
+
+}  // namespace cps

@@ -1,0 +1,74 @@
+// ScheduleTable: the output of the merging algorithm (paper §3).
+//
+// One row per task (ordinary process, communication process, condition
+// broadcast); each cell holds an activation time valid when the cube
+// heading its column is true. The coherence requirements 1-4 of paper §3
+// are checked by sched/table_validate.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpg/flat_graph.hpp"
+
+namespace cps {
+
+struct TableEntry {
+  /// Column header: conjunction of condition values known, at the start
+  /// time, on the resource executing the task.
+  Cube column;
+  Time start = 0;
+  /// Resource the activation refers to (differs from Task::resource only
+  /// for broadcasts, which pick a bus per path).
+  PeId resource = 0;
+};
+
+enum class AddEntryResult {
+  kAdded,      ///< new cell
+  kDuplicate,  ///< identical (column, start, resource) already present
+  kClash,      ///< same column already present with a different start —
+               ///< a requirement-2 violation the merge could not avoid
+};
+
+class ScheduleTable {
+ public:
+  explicit ScheduleTable(const FlatGraph& fg);
+
+  const FlatGraph& flat_graph() const { return *fg_; }
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<TableEntry>& row(TaskId t) const;
+
+  AddEntryResult add_entry(TaskId t, const Cube& column, Time start,
+                           PeId resource);
+
+  /// Entries of `t` whose column is compatible with `column` but whose
+  /// start time or resource differs (the §5.2 conflict set W).
+  std::vector<TableEntry> conflicting_entries(TaskId t, const Cube& column,
+                                              Time start,
+                                              PeId resource) const;
+
+  /// All entries of `t` whose column is implied by the label (on a
+  /// requirement-2-clean table, all agree on one decision).
+  std::vector<TableEntry> matching(TaskId t, const Cube& label) const;
+
+  /// Activation of `t` under a complete path label: the unique entry whose
+  /// column is implied by the label. Returns nullopt when no entry
+  /// applies (task inactive on the path). Throws InternalError when
+  /// several applicable entries disagree (a requirement-2 violation);
+  /// use matching() when inspecting possibly incoherent tables.
+  std::optional<TableEntry> activation(TaskId t, const Cube& label) const;
+
+  /// All distinct column cubes, sorted for display (fewer literals first,
+  /// then lexicographically).
+  std::vector<Cube> columns() const;
+
+  /// Total number of cells.
+  std::size_t entry_count() const;
+
+ private:
+  const FlatGraph* fg_;
+  std::vector<std::vector<TableEntry>> rows_;
+};
+
+}  // namespace cps

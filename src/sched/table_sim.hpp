@@ -1,0 +1,33 @@
+// Run-time execution of a schedule table (the distributed non-preemptive
+// scheduler of paper §3, as a simulator).
+//
+// Given a complete path, the table determines the start time of every
+// active task; the simulator extracts that execution and checks that it is
+// physically realizable: dependencies respected, sequential resources
+// exclusive, and every activation decision based only on condition values
+// already known on the deciding resource.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule_table.hpp"
+#include "sched/schedule.hpp"
+
+namespace cps {
+
+struct TableExecution {
+  bool ok = false;
+  /// Human-readable violations (empty iff ok).
+  std::vector<std::string> violations;
+  /// Extracted execution (slots of active tasks).
+  PathSchedule schedule;
+  /// Activation time of the sink = the delay of this execution.
+  Time delay = 0;
+};
+
+/// Execute the table under one alternative path.
+TableExecution execute_table(const FlatGraph& fg, const ScheduleTable& table,
+                             const AltPath& path);
+
+}  // namespace cps

@@ -1,0 +1,70 @@
+#include "sched/table_validate.hpp"
+
+#include <sstream>
+
+#include "sched/table_sim.hpp"
+
+namespace cps {
+
+TableValidation validate_table(const FlatGraph& fg,
+                               const ScheduleTable& table,
+                               const std::vector<AltPath>& paths) {
+  TableValidation out;
+  auto complain = [&out](const std::string& msg) {
+    out.violations.push_back(msg);
+  };
+
+  for (TaskId t = 0; t < fg.task_count(); ++t) {
+    const Task& task = fg.task(t);
+    const auto& row = table.row(t);
+
+    // Requirement 1: column implies guard.
+    for (const TableEntry& e : row) {
+      if (!task.guard.covered_by_context(e.column)) {
+        complain("req1: column " + e.column.to_string() + " of task " +
+                 task.name + " does not imply its guard " +
+                 task.guard.to_string());
+      }
+    }
+
+    // Requirement 2: different activation decisions have incompatible
+    // columns.
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        const bool same_decision = row[i].start == row[j].start &&
+                                   row[i].resource == row[j].resource;
+        if (same_decision) continue;
+        if (row[i].column.compatible(row[j].column)) {
+          std::ostringstream os;
+          os << "req2: task " << task.name << " has compatible columns "
+             << row[i].column.to_string() << " (t=" << row[i].start
+             << ") and " << row[j].column.to_string()
+             << " (t=" << row[j].start << ")";
+          complain(os.str());
+        }
+      }
+    }
+
+    // Requirement 3: the columns cover the guard exactly.
+    Dnf cover = Dnf::false_();
+    for (const TableEntry& e : row) cover = cover.or_cube(e.column);
+    if (!cover.equivalent(task.guard)) {
+      complain("req3: activation columns of task " + task.name + " cover " +
+               cover.to_string() + " but the guard is " +
+               task.guard.to_string());
+    }
+  }
+
+  // Requirement 4 + physical realizability, per alternative path.
+  for (const AltPath& path : paths) {
+    const TableExecution exec = execute_table(fg, table, path);
+    for (const std::string& v : exec.violations) {
+      complain("path " + path.label.to_string() + ": " + v);
+    }
+  }
+
+  out.ok = out.violations.empty();
+  return out;
+}
+
+}  // namespace cps

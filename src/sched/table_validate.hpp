@@ -1,0 +1,35 @@
+// Structural validation of a schedule table against the four coherence
+// requirements of paper §3:
+//  1. an activation time in a column headed by E exists only if E implies
+//     the guard of the process;
+//  2. activation times are uniquely determined by the conditions: two
+//     cells of one row with different times (or resources) must have
+//     incompatible column expressions;
+//  3. if the guard of a process becomes true, the process is activated:
+//     the disjunction of the columns of its row is equivalent to its
+//     guard;
+//  4. activations depend only on condition values known, at that moment,
+//     on the processing element executing the process (checked per path
+//     by the run-time simulator, sched/table_sim.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpg/paths.hpp"
+#include "sched/schedule_table.hpp"
+
+namespace cps {
+
+struct TableValidation {
+  bool ok = false;
+  std::vector<std::string> violations;
+};
+
+/// Check requirements 1-3 structurally and requirement 4 (plus physical
+/// realizability) by executing the table on every alternative path.
+TableValidation validate_table(const FlatGraph& fg,
+                               const ScheduleTable& table,
+                               const std::vector<AltPath>& paths);
+
+}  // namespace cps

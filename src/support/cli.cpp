@@ -1,0 +1,127 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace cps {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  CPS_REQUIRE(!flags_.count(name), "duplicate flag --" + name);
+  flags_[name] = Flag{default_value, help, false};
+  order_.push_back(name);
+}
+
+void CliParser::add_bool(const std::string& name, const std::string& help) {
+  CPS_REQUIRE(!flags_.count(name), "duplicate flag --" + name);
+  flags_[name] = Flag{"false", help, true};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::cout << help_text();
+      return false;
+    }
+    std::string name = arg;
+    std::optional<std::string> value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw ParseError("unknown flag --" + name + " (see --help)");
+    }
+    if (it->second.boolean) {
+      values_[name] = value.value_or("true");
+    } else if (value) {
+      values_[name] = *value;
+    } else {
+      if (i + 1 >= argc) {
+        throw ParseError("flag --" + name + " expects a value");
+      }
+      values_[name] = argv[++i];
+    }
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  CPS_REQUIRE(it != flags_.end(), "flag --" + name + " was never declared");
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Flag& flag = find(name);
+  auto it = values_.find(name);
+  return it == values_.end() ? flag.default_value : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string v = get_string(name);
+  std::size_t pos = 0;
+  std::int64_t out = 0;
+  try {
+    out = std::stoll(v, &pos);
+  } catch (const std::exception&) {
+    throw ParseError("flag --" + name + ": '" + v + "' is not an integer");
+  }
+  if (pos != v.size()) {
+    throw ParseError("flag --" + name + ": '" + v + "' is not an integer");
+  }
+  return out;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get_string(name);
+  std::size_t pos = 0;
+  double out = 0;
+  try {
+    out = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    throw ParseError("flag --" + name + ": '" + v + "' is not a number");
+  }
+  if (pos != v.size()) {
+    throw ParseError("flag --" + name + ": '" + v + "' is not a number");
+  }
+  return out;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw ParseError("flag --" + name + ": '" + v + "' is not a boolean");
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << pad_right(name, 24) << f.help;
+    if (!f.boolean) os << " (default: " << f.default_value << ")";
+    os << '\n';
+  }
+  os << "  --" << pad_right("help", 24) << "show this message\n";
+  return os.str();
+}
+
+}  // namespace cps

@@ -1,0 +1,56 @@
+// Tiny command-line flag parser used by examples and benchmark binaries.
+//
+// Supports "--name value", "--name=value" and boolean "--name" flags.
+// Unknown flags raise ParseError so typos in experiment sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cps {
+
+/// Declarative flag set; call parse(argc, argv) then read typed values.
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Declare a flag with a default value (rendered in --help).
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+  /// Declare a boolean flag (defaults to false, presence sets true).
+  void add_bool(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false if --help was requested (help text printed
+  /// to stdout); throws ParseError on unknown or malformed flags.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string help_text() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    bool boolean = false;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Flag> flags_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cps

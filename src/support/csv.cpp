@@ -1,0 +1,48 @@
+#include "support/csv.hpp"
+
+#include "support/strings.hpp"
+
+namespace cps {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << escape(fields[i]);
+  }
+  os_ << '\n';
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  pending_.push_back(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value, int decimals) {
+  pending_.push_back(format_double(value, decimals));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  row(pending_);
+  pending_.clear();
+}
+
+}  // namespace cps

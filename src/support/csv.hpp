@@ -1,0 +1,32 @@
+// Minimal CSV writer for experiment output (RFC 4180 quoting).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cps {
+
+/// Streams rows of a CSV file, quoting fields only when needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Write a header or data row from pre-rendered fields.
+  void row(const std::vector<std::string>& fields);
+
+  /// Fluent per-cell interface: writer.cell(a).cell(b).end_row();
+  CsvWriter& cell(const std::string& value);
+  CsvWriter& cell(std::int64_t value);
+  CsvWriter& cell(double value, int decimals = 6);
+  void end_row();
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::ostream& os_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace cps

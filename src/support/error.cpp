@@ -1,0 +1,19 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace cps::detail {
+
+void throw_internal(const char* expr, const char* file, int line,
+                    const std::string& message) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << message << " [" << expr << " at "
+     << file << ":" << line << "]";
+  throw InternalError(os.str());
+}
+
+void throw_invalid(const std::string& message) {
+  throw InvalidArgument(message);
+}
+
+}  // namespace cps::detail

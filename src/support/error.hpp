@@ -1,0 +1,67 @@
+// Error handling primitives for the condsched library.
+//
+// All library errors derive from cps::Error. Precondition violations on the
+// public API throw InvalidArgument; violated internal invariants throw
+// InternalError (these indicate a library bug and are exercised by tests
+// through deliberately corrupted inputs).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cps {
+
+/// Base class of every exception thrown by condsched.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller supplied an argument that violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A model (graph, architecture, mapping) failed semantic validation.
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
+/// A text input (``.cpg`` file, CLI flag) could not be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant of the library was violated (a bug in condsched).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_internal(const char* expr, const char* file, int line,
+                                 const std::string& message);
+[[noreturn]] void throw_invalid(const std::string& message);
+}  // namespace detail
+
+}  // namespace cps
+
+/// Internal invariant check. Throws cps::InternalError when violated; always
+/// enabled (scheduling correctness matters more than the branch cost).
+#define CPS_ASSERT(expr, message)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::cps::detail::throw_internal(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                     \
+  } while (false)
+
+/// Public-API precondition check; throws cps::InvalidArgument when violated.
+#define CPS_REQUIRE(expr, message)              \
+  do {                                          \
+    if (!(expr)) {                              \
+      ::cps::detail::throw_invalid((message));  \
+    }                                           \
+  } while (false)

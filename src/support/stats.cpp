@@ -1,0 +1,58 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+void StatAccumulator::add(double x) { samples_.push_back(x); }
+
+void StatAccumulator::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+}
+
+double StatAccumulator::sum() const {
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double StatAccumulator::mean() const {
+  CPS_REQUIRE(!samples_.empty(), "mean of empty sample set");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double StatAccumulator::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double StatAccumulator::min() const {
+  CPS_REQUIRE(!samples_.empty(), "min of empty sample set");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double StatAccumulator::max() const {
+  CPS_REQUIRE(!samples_.empty(), "max of empty sample set");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double StatAccumulator::percentile(double p) const {
+  CPS_REQUIRE(!samples_.empty(), "percentile of empty sample set");
+  CPS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+}  // namespace cps

@@ -1,0 +1,45 @@
+// Streaming and batch descriptive statistics used by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cps {
+
+/// Accumulates samples and reports summary statistics.
+class StatAccumulator {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Percentile in [0,100] by linear interpolation between order statistics.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// Fraction of samples for which pred holds, in [0,1].
+  template <typename Pred>
+  double fraction(Pred pred) const {
+    if (samples_.empty()) return 0.0;
+    std::size_t n = 0;
+    for (double x : samples_) {
+      if (pred(x)) ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(samples_.size());
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace cps

@@ -1,0 +1,34 @@
+// Small string utilities shared by the text I/O and rendering code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cps {
+
+/// Split on a delimiter; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on arbitrary whitespace runs; drops empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Strip leading and trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Fixed-point formatting with the given number of decimals.
+std::string format_double(double v, int decimals);
+
+/// Pad with spaces on the right (left-aligned) to at least `width`.
+std::string pad_right(std::string s, std::size_t width);
+
+/// Pad with spaces on the left (right-aligned) to at least `width`.
+std::string pad_left(std::string s, std::size_t width);
+
+}  // namespace cps

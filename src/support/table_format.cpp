@@ -1,0 +1,71 @@
+#include "support/table_format.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace cps {
+
+void AsciiTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+AsciiTable& AsciiTable::cell(const std::string& value) {
+  pending_.push_back(value);
+  return *this;
+}
+
+AsciiTable& AsciiTable::cell(std::int64_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+AsciiTable& AsciiTable::cell(double value, int decimals) {
+  pending_.push_back(format_double(value, decimals));
+  return *this;
+}
+
+void AsciiTable::end_row() {
+  rows_.push_back(pending_);
+  pending_.clear();
+}
+
+void AsciiTable::render(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto line = [&](const std::vector<std::string>& cells, std::ostream& o) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      o << (i == 0 ? "| " : " | ");
+      // Left-align the first column (labels), right-align the rest (numbers).
+      o << (i == 0 ? pad_right(c, widths[i]) : pad_left(c, widths[i]));
+    }
+    o << " |\n";
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+  const std::string rule(total, '-');
+  os << rule << '\n';
+  if (!header_.empty()) {
+    line(header_, os);
+    os << rule << '\n';
+  }
+  for (const auto& row : rows_) line(row, os);
+  os << rule << '\n';
+}
+
+}  // namespace cps

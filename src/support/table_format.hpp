@@ -1,0 +1,41 @@
+// ASCII table rendering for benchmark and example output.
+//
+// The benchmark binaries print paper-style tables; this helper keeps the
+// layout code out of the experiment logic.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cps {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class AsciiTable {
+ public:
+  /// Optional title printed above the table.
+  explicit AsciiTable(std::string title = "") : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+
+  /// Fluent cell interface mirroring CsvWriter.
+  AsciiTable& cell(const std::string& value);
+  AsciiTable& cell(std::int64_t value);
+  AsciiTable& cell(double value, int decimals = 2);
+  void end_row();
+
+  /// Number of data rows added so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  void render(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace cps

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "arch/architecture.hpp"
+#include "support/error.hpp"
+
+namespace cps {
+namespace {
+
+TEST(Architecture, AddAndQueryKinds) {
+  Architecture a;
+  const PeId p1 = a.add_processor("p1", 2.0);
+  const PeId hw = a.add_hardware("hw");
+  const PeId bus = a.add_bus("bus");
+  const PeId mem = a.add_memory("mem");
+  EXPECT_EQ(a.pe_count(), 4u);
+  EXPECT_EQ(a.pe(p1).kind, PeKind::kProcessor);
+  EXPECT_DOUBLE_EQ(a.pe(p1).speed, 2.0);
+  EXPECT_EQ(a.pe(hw).kind, PeKind::kHardware);
+  EXPECT_EQ(a.pe(bus).kind, PeKind::kBus);
+  EXPECT_EQ(a.pe(mem).kind, PeKind::kMemory);
+  EXPECT_EQ(a.processors(), std::vector<PeId>{p1});
+  EXPECT_EQ(a.buses(), std::vector<PeId>{bus});
+}
+
+TEST(Architecture, SequentialityRules) {
+  Architecture a;
+  const PeId p = a.add_processor("p");
+  const PeId hw = a.add_hardware("hw");
+  const PeId bus = a.add_bus("b");
+  const PeId mem = a.add_memory("m");
+  EXPECT_TRUE(a.pe(p).sequential());
+  EXPECT_FALSE(a.pe(hw).sequential());
+  EXPECT_TRUE(a.pe(bus).sequential());
+  EXPECT_TRUE(a.pe(mem).sequential());
+  EXPECT_TRUE(a.pe(p).is_computation());
+  EXPECT_TRUE(a.pe(hw).is_computation());
+  EXPECT_FALSE(a.pe(bus).is_computation());
+}
+
+TEST(Architecture, BroadcastBuses) {
+  Architecture a;
+  a.add_processor("p");
+  a.add_bus("b1", /*connects_all=*/true);
+  a.add_bus("b2", /*connects_all=*/false);
+  EXPECT_EQ(a.broadcast_buses().size(), 1u);
+  EXPECT_EQ(a.pe(a.broadcast_buses()[0]).name, "b1");
+}
+
+TEST(Architecture, NameLookupAndDuplicates) {
+  Architecture a;
+  a.add_processor("p1");
+  EXPECT_EQ(a.id_of("p1"), 0);
+  EXPECT_THROW(a.id_of("nope"), InvalidArgument);
+  EXPECT_THROW(a.add_bus("p1"), InvalidArgument);
+  EXPECT_THROW(a.add_processor(""), InvalidArgument);
+  EXPECT_THROW(a.add_processor("neg", -1.0), InvalidArgument);
+}
+
+TEST(Architecture, BroadcastTimeValidation) {
+  Architecture a;
+  a.add_processor("p");
+  a.set_cond_broadcast_time(5);
+  EXPECT_EQ(a.cond_broadcast_time(), 5);
+  EXPECT_THROW(a.set_cond_broadcast_time(0), InvalidArgument);
+}
+
+TEST(Architecture, ValidateRules) {
+  Architecture empty;
+  EXPECT_THROW(empty.validate(false), InvalidArgument);
+
+  Architecture no_compute;
+  no_compute.add_bus("b");
+  EXPECT_THROW(no_compute.validate(false), ValidationError);
+
+  Architecture no_bcast;
+  no_bcast.add_processor("p1");
+  no_bcast.add_processor("p2");
+  EXPECT_NO_THROW(no_bcast.validate(false));
+  EXPECT_THROW(no_bcast.validate(true), ValidationError);
+  no_bcast.add_bus("b");
+  EXPECT_NO_THROW(no_bcast.validate(true));
+}
+
+}  // namespace
+}  // namespace cps

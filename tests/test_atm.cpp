@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "atm/oam.hpp"
+#include "test_util.hpp"
+
+namespace cps {
+namespace {
+
+OamArchitecture arch_1p(OamCpu cpu, int mems = 1) {
+  return OamArchitecture{{cpu}, mems};
+}
+OamArchitecture arch_2p(OamCpu a, OamCpu b, int mems = 1) {
+  return OamArchitecture{{a, b}, mems};
+}
+
+TEST(AtmOam, ModeSizesMatchTable2) {
+  // "nr. proc" / "nr. paths" columns of Table 2: 32/6, 23/3, 42/8.
+  const OamArchitecture arch = arch_1p(OamCpu::k486);
+  const OamMapping mapping{};
+  const struct {
+    int mode;
+    std::size_t procs;
+    std::size_t paths;
+  } expected[] = {{1, 32, 6}, {2, 23, 3}, {3, 42, 8}};
+  for (const auto& e : expected) {
+    const Cpg g = build_oam_mode_cpg(e.mode, arch, mapping);
+    EXPECT_EQ(g.ordinary_process_count(), e.procs) << "mode " << e.mode;
+    EXPECT_EQ(enumerate_paths(g).size(), e.paths) << "mode " << e.mode;
+  }
+}
+
+TEST(AtmOam, LabelFormatting) {
+  EXPECT_EQ(arch_1p(OamCpu::k486).label(), "1P/1M 486");
+  EXPECT_EQ(arch_1p(OamCpu::kPentium, 2).label(), "1P/2M Pent.");
+  EXPECT_EQ(arch_2p(OamCpu::k486, OamCpu::k486).label(), "2P/1M 2x486");
+  EXPECT_EQ(arch_2p(OamCpu::k486, OamCpu::kPentium, 2).label(),
+            "2P/2M 486+Pent.");
+}
+
+TEST(AtmOam, FasterProcessorReducesDelayInEveryMode) {
+  for (int mode = 1; mode <= 3; ++mode) {
+    const Time d486 =
+        evaluate_oam_mode(mode, arch_1p(OamCpu::k486)).worst_case_delay;
+    const Time dpent =
+        evaluate_oam_mode(mode, arch_1p(OamCpu::kPentium)).worst_case_delay;
+    EXPECT_LT(dpent, d486) << "mode " << mode;
+  }
+}
+
+TEST(AtmOam, SecondProcessorNeverHelpsMode2) {
+  // Mode 2 has no parallelism (paper §6).
+  for (const OamCpu cpu : {OamCpu::k486, OamCpu::kPentium}) {
+    const Time one = evaluate_oam_mode(2, arch_1p(cpu)).worst_case_delay;
+    const Time two =
+        evaluate_oam_mode(2, arch_2p(cpu, cpu)).worst_case_delay;
+    EXPECT_EQ(one, two) << to_string(cpu);
+  }
+}
+
+TEST(AtmOam, SecondProcessorAlwaysHelpsMode1) {
+  for (const OamCpu cpu : {OamCpu::k486, OamCpu::kPentium}) {
+    const Time one = evaluate_oam_mode(1, arch_1p(cpu)).worst_case_delay;
+    const Time two =
+        evaluate_oam_mode(1, arch_2p(cpu, cpu)).worst_case_delay;
+    EXPECT_LT(two, one) << to_string(cpu);
+  }
+}
+
+TEST(AtmOam, SecondProcessorHelpsMode3OnlyFor486) {
+  const Time one486 =
+      evaluate_oam_mode(3, arch_1p(OamCpu::k486)).worst_case_delay;
+  const Time two486 =
+      evaluate_oam_mode(3, arch_2p(OamCpu::k486, OamCpu::k486))
+          .worst_case_delay;
+  EXPECT_LT(two486, one486);
+
+  const Time one_p =
+      evaluate_oam_mode(3, arch_1p(OamCpu::kPentium)).worst_case_delay;
+  const Time two_p =
+      evaluate_oam_mode(3, arch_2p(OamCpu::kPentium, OamCpu::kPentium))
+          .worst_case_delay;
+  EXPECT_EQ(two_p, one_p);  // offloading is eaten by communication
+}
+
+TEST(AtmOam, SecondMemoryModuleHelpsOnlyTwoPentiumsInMode1) {
+  // Paper: "only for the architecture consisting of two Pentium
+  // processors providing an additional memory module pays back".
+  const Time p2_1m =
+      evaluate_oam_mode(1, arch_2p(OamCpu::kPentium, OamCpu::kPentium, 1))
+          .worst_case_delay;
+  const Time p2_2m =
+      evaluate_oam_mode(1, arch_2p(OamCpu::kPentium, OamCpu::kPentium, 2))
+          .worst_case_delay;
+  EXPECT_LT(p2_2m, p2_1m);
+
+  const Time i486_1m =
+      evaluate_oam_mode(1, arch_2p(OamCpu::k486, OamCpu::k486, 1))
+          .worst_case_delay;
+  const Time i486_2m =
+      evaluate_oam_mode(1, arch_2p(OamCpu::k486, OamCpu::k486, 2))
+          .worst_case_delay;
+  EXPECT_EQ(i486_2m, i486_1m);
+}
+
+TEST(AtmOam, SecondMemoryModuleNeverHelpsSingleProcessor) {
+  for (int mode = 1; mode <= 3; ++mode) {
+    for (const OamCpu cpu : {OamCpu::k486, OamCpu::kPentium}) {
+      const Time m1 = evaluate_oam_mode(mode, arch_1p(cpu, 1))
+                          .worst_case_delay;
+      const Time m2 = evaluate_oam_mode(mode, arch_1p(cpu, 2))
+                          .worst_case_delay;
+      EXPECT_EQ(m1, m2) << "mode " << mode << " " << to_string(cpu);
+    }
+  }
+}
+
+TEST(AtmOam, MixedArchitectureUsesThePentiumForTheChain) {
+  // Mode 2 on 486+Pentium must match the pure-Pentium delay (the whole
+  // chain goes to the faster processor).
+  const Time mixed =
+      evaluate_oam_mode(2, arch_2p(OamCpu::k486, OamCpu::kPentium))
+          .worst_case_delay;
+  const Time pent =
+      evaluate_oam_mode(2, arch_1p(OamCpu::kPentium)).worst_case_delay;
+  EXPECT_EQ(mixed, pent);
+}
+
+TEST(AtmOam, InvalidModeRejected) {
+  EXPECT_THROW(build_oam_mode_cpg(0, arch_1p(OamCpu::k486), OamMapping{}),
+               InvalidArgument);
+  EXPECT_THROW(build_oam_mode_cpg(4, arch_1p(OamCpu::k486), OamMapping{}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cps

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "gen/arch_gen.hpp"
+#include "gen/random_cpg.hpp"
+#include "graph/dag_algo.hpp"
+#include "models/fig1.hpp"
+#include "sched/baseline.hpp"
+#include "sched/driver.hpp"
+#include "test_util.hpp"
+
+namespace cps {
+namespace {
+
+TEST(Baseline, ObliviousScheduleCoversAllNonBroadcastTasks) {
+  const Cpg g = build_fig1_cpg();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const ObliviousResult r = oblivious_schedule(fg);
+  for (TaskId t = 0; t < fg.task_count(); ++t) {
+    EXPECT_EQ(r.schedule.scheduled(t), !fg.task(t).is_broadcast())
+        << fg.task(t).name;
+  }
+  EXPECT_GT(r.delay, 0);
+}
+
+TEST(Baseline, ObliviousRespectsCriticalPathLowerBound) {
+  const Cpg g = build_fig1_cpg();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const ObliviousResult r = oblivious_schedule(fg);
+
+  // Critical path over the full task graph is a lower bound.
+  std::vector<std::int64_t> durations;
+  durations.reserve(fg.task_count());
+  for (const Task& t : fg.tasks()) {
+    durations.push_back(t.is_broadcast() ? 0 : t.duration);
+  }
+  const auto cp = longest_path_from(fg.deps(), durations, {});
+  EXPECT_GE(r.delay, cp[fg.source_task()]);
+}
+
+TEST(Baseline, ObliviousIsInTheRightBallparkOnFig1) {
+  // The oblivious baseline schedules both branches of every condition but
+  // pays no broadcast latency, so it lands close to (and in the
+  // aggregate above) the condition-aware worst case. On Fig. 1 the two
+  // are within a broadcast-dominated margin of each other.
+  const Cpg g = build_fig1_cpg();
+  const CoSynthesisResult aware = schedule_cpg(g);
+  const ObliviousResult oblivious = oblivious_schedule(aware.flat_graph());
+  EXPECT_GE(oblivious.delay, aware.delays.delta_m / 2);
+  EXPECT_GE(oblivious.delay, aware.delays.path_optimal.front() / 2);
+}
+
+TEST(Baseline, ObliviousBoundsOnRandomGraphs) {
+  // The oblivious schedule runs every branch but pays no broadcast
+  // latency, so it is bounded below by the full-graph critical path and
+  // lands near the condition-aware worst case (bench_baseline_oblivious
+  // quantifies the relationship).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const Architecture arch = generate_random_architecture(rng);
+    RandomCpgParams params;
+    params.process_count = 30;
+    params.path_count = 8;
+    const Cpg g = generate_random_cpg(arch, params, rng);
+    const FlatGraph fg = FlatGraph::expand(g);
+    const ObliviousResult oblivious = oblivious_schedule(fg);
+
+    std::vector<std::int64_t> durations;
+    durations.reserve(fg.task_count());
+    for (const Task& t : fg.tasks()) {
+      durations.push_back(t.is_broadcast() ? 0 : t.duration);
+    }
+    const auto cp = longest_path_from(fg.deps(), durations, {});
+    EXPECT_GE(oblivious.delay, cp[fg.source_task()]) << "seed " << seed;
+    // It also cannot beat the longest task chain of any single path.
+    const CoSynthesisResult aware = schedule_cpg(g);
+    EXPECT_GT(oblivious.delay, 0);
+    EXPECT_GE(static_cast<double>(oblivious.delay),
+              0.5 * static_cast<double>(aware.delays.delta_max))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cps

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "cond/assignment.hpp"
+#include "cond/condition_set.hpp"
+#include "cond/cube.hpp"
+#include "cond/dnf.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace cps {
+namespace {
+
+Literal pos(CondId c) { return Literal{c, true}; }
+Literal neg(CondId c) { return Literal{c, false}; }
+
+// ----------------------------------------------------------- Cube -----
+
+TEST(Cube, TopIsTrue) {
+  EXPECT_TRUE(Cube::top().is_true());
+  EXPECT_EQ(Cube::top().size(), 0u);
+}
+
+TEST(Cube, ConstructorSortsAndDeduplicates) {
+  Cube c({pos(3), pos(1), pos(3)});
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.literals()[0].cond, 1);
+  EXPECT_EQ(c.literals()[1].cond, 3);
+}
+
+TEST(Cube, ConstructorRejectsContradiction) {
+  EXPECT_THROW(Cube({pos(1), neg(1)}), InvalidArgument);
+}
+
+TEST(Cube, ConjoinLiteral) {
+  Cube c(pos(1));
+  auto d = c.conjoin(pos(2));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->size(), 2u);
+  EXPECT_FALSE(c.conjoin(neg(1)).has_value());
+  EXPECT_EQ(*c.conjoin(pos(1)), c);
+}
+
+TEST(Cube, ConjoinCube) {
+  Cube a({pos(1), neg(2)});
+  Cube b({neg(2), pos(3)});
+  auto ab = a.conjoin(b);
+  ASSERT_TRUE(ab.has_value());
+  EXPECT_EQ(ab->size(), 3u);
+  Cube contra({pos(2)});
+  EXPECT_FALSE(a.conjoin(contra).has_value());
+}
+
+TEST(Cube, CompatibleIffNoOppositeLiteral) {
+  Cube a({pos(1), pos(2)});
+  Cube b({pos(2), pos(3)});
+  Cube c({neg(2)});
+  EXPECT_TRUE(a.compatible(b));
+  EXPECT_FALSE(a.compatible(c));
+  EXPECT_TRUE(Cube::top().compatible(a));
+}
+
+TEST(Cube, ImpliesIsSubsetOrder) {
+  Cube a({pos(1), pos(2)});
+  Cube b(pos(1));
+  EXPECT_TRUE(a.implies(b));
+  EXPECT_FALSE(b.implies(a));
+  EXPECT_TRUE(a.implies(Cube::top()));
+  EXPECT_TRUE(a.implies(a));
+}
+
+TEST(Cube, ValueOfAndMentions) {
+  Cube a({pos(1), neg(4)});
+  EXPECT_EQ(a.value_of(1), true);
+  EXPECT_EQ(a.value_of(4), false);
+  EXPECT_FALSE(a.value_of(2).has_value());
+  EXPECT_TRUE(a.mentions(4));
+  EXPECT_FALSE(a.mentions(0));
+}
+
+TEST(Cube, WithoutRemovesOneCondition) {
+  Cube a({pos(1), neg(4)});
+  EXPECT_EQ(a.without(1), Cube(neg(4)));
+  EXPECT_EQ(a.without(9), a);
+}
+
+TEST(Cube, ConditionsSubsetOf) {
+  Cube a(pos(1));
+  Cube b({neg(1), pos(2)});
+  EXPECT_TRUE(a.conditions_subset_of(b));
+  EXPECT_FALSE(b.conditions_subset_of(a));
+}
+
+TEST(Cube, ToString) {
+  EXPECT_EQ(Cube::top().to_string(), "true");
+  EXPECT_EQ(Cube({pos(0), neg(2)}).to_string(), "c0 & !c2");
+}
+
+// ----------------------------------------------------------- Dnf ------
+
+TEST(Dnf, Constants) {
+  EXPECT_TRUE(Dnf::false_().is_false());
+  EXPECT_TRUE(Dnf::true_().is_true());
+  EXPECT_FALSE(Dnf::true_().is_false());
+}
+
+TEST(Dnf, AbsorptionDropsSubsumedCubes) {
+  Dnf d = Dnf(Cube(pos(1))).or_cube(Cube({pos(1), pos(2)}));
+  ASSERT_EQ(d.cubes().size(), 1u);
+  EXPECT_EQ(d.cubes()[0], Cube(pos(1)));
+}
+
+TEST(Dnf, ComplementaryMergeSimplifies) {
+  // (X & C) | (X & !C) == X.
+  Dnf d = Dnf(Cube({pos(0), pos(1)})).or_cube(Cube({pos(0), neg(1)}));
+  ASSERT_EQ(d.cubes().size(), 1u);
+  EXPECT_EQ(d.cubes()[0], Cube(pos(0)));
+}
+
+TEST(Dnf, FullCoverCollapsesToTrue) {
+  // (D&K) | (D&!K) | !D == true — the X_P17 example of the paper.
+  Dnf d = Dnf(Cube({pos(0), pos(1)}))
+              .or_cube(Cube({pos(0), neg(1)}))
+              .or_cube(Cube(neg(0)));
+  EXPECT_TRUE(d.is_true());
+}
+
+TEST(Dnf, AndDistributesAndDropsContradictions) {
+  Dnf d = Dnf(Cube(pos(0))).or_cube(Cube(neg(1)));
+  Dnf e = d.and_cube(Cube(pos(1)));
+  // (c0 | !c1) & c1 == c0 & c1.
+  ASSERT_EQ(e.cubes().size(), 1u);
+  EXPECT_EQ(e.cubes()[0], Cube({pos(0), pos(1)}));
+}
+
+TEST(Dnf, EvaluateMatchesSemantics) {
+  Dnf d = Dnf(Cube({pos(0), neg(1)})).or_cube(Cube(pos(2)));
+  auto val = [](bool a, bool b, bool c) {
+    return [=](CondId id) { return id == 0 ? a : id == 1 ? b : c; };
+  };
+  EXPECT_TRUE(d.evaluate(val(true, false, false)));
+  EXPECT_TRUE(d.evaluate(val(false, true, true)));
+  EXPECT_FALSE(d.evaluate(val(false, false, false)));
+  EXPECT_FALSE(d.evaluate(val(true, true, false)));
+}
+
+TEST(Dnf, CoveredByContext) {
+  // D covers (D&K)|(D&!K).
+  Dnf d = Dnf(Cube({pos(0), pos(1)})).or_cube(Cube({pos(0), neg(1)}));
+  EXPECT_TRUE(d.covered_by_context(Cube(pos(0))));
+  EXPECT_FALSE(d.covered_by_context(Cube(neg(0))));
+  EXPECT_FALSE(d.covered_by_context(Cube::top()));
+  EXPECT_TRUE(Dnf::true_().covered_by_context(Cube::top()));
+  EXPECT_FALSE(Dnf::false_().covered_by_context(Cube::top()));
+}
+
+TEST(Dnf, ImpliesAndEquivalent) {
+  Dnf a(Cube({pos(0), pos(1)}));
+  Dnf b(Cube(pos(0)));
+  EXPECT_TRUE(a.implies(b));
+  EXPECT_FALSE(b.implies(a));
+  Dnf c = Dnf(Cube({pos(0), pos(1)})).or_cube(Cube({pos(0), neg(1)}));
+  EXPECT_TRUE(c.equivalent(b));
+}
+
+TEST(Dnf, MentionedConditions) {
+  Dnf d = Dnf(Cube({pos(0), neg(3)})).or_cube(Cube(pos(5)));
+  EXPECT_EQ(d.mentioned_conditions(), (std::vector<CondId>{0, 3, 5}));
+}
+
+TEST(Dnf, ToString) {
+  EXPECT_EQ(Dnf::false_().to_string(), "false");
+  EXPECT_EQ(Dnf::true_().to_string(), "true");
+  Dnf d = Dnf(Cube(pos(0))).or_cube(Cube(neg(1)));
+  EXPECT_EQ(d.to_string(), "c0 | !c1");
+}
+
+// Property test: DNF algebra agrees with brute-force truth-table
+// evaluation on random formulas.
+class DnfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+Cube random_cube(Rng& rng, std::size_t universe) {
+  Cube c;
+  for (CondId i = 0; i < universe; ++i) {
+    const auto roll = rng.index(3);
+    if (roll == 0) continue;
+    c = *c.conjoin(Literal{i, roll == 1});
+  }
+  return c;
+}
+
+Dnf random_dnf(Rng& rng, std::size_t universe) {
+  Dnf d;
+  const std::size_t cubes = rng.index(4);
+  for (std::size_t i = 0; i < cubes; ++i) {
+    d = d.or_cube(random_cube(rng, universe));
+  }
+  return d;
+}
+
+TEST_P(DnfPropertyTest, OperationsMatchTruthTables) {
+  Rng rng(GetParam());
+  constexpr std::size_t kUniverse = 4;
+  const auto assignments = Assignment::enumerate(kUniverse);
+
+  for (int round = 0; round < 20; ++round) {
+    const Dnf a = random_dnf(rng, kUniverse);
+    const Dnf b = random_dnf(rng, kUniverse);
+    const Cube ctx = random_cube(rng, kUniverse);
+
+    auto eval = [](const Dnf& d, const Assignment& asg) {
+      return d.evaluate([&asg](CondId c) { return asg.value(c); });
+    };
+
+    // OR / AND agree point-wise.
+    const Dnf a_or_b = a.or_dnf(b);
+    const Dnf a_and_b = a.and_dnf(b);
+    for (const Assignment& asg : assignments) {
+      EXPECT_EQ(eval(a_or_b, asg), eval(a, asg) || eval(b, asg));
+      EXPECT_EQ(eval(a_and_b, asg), eval(a, asg) && eval(b, asg));
+    }
+
+    // covered_by_context == "true under every completion of ctx".
+    bool expected_cover = true;
+    for (const Assignment& asg : assignments) {
+      if (asg.satisfies(ctx) && !eval(a, asg)) expected_cover = false;
+    }
+    EXPECT_EQ(a.covered_by_context(ctx), expected_cover)
+        << a.to_string() << " under " << ctx.to_string();
+
+    // implies == point-wise order.
+    bool expected_implies = true;
+    for (const Assignment& asg : assignments) {
+      if (eval(a, asg) && !eval(b, asg)) expected_implies = false;
+    }
+    EXPECT_EQ(a.implies(b), expected_implies)
+        << a.to_string() << " => " << b.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------------------- Assignment ---
+
+TEST(Assignment, FromCubeSetsMentionedConditions) {
+  const Assignment a = Assignment::from_cube(Cube({pos(1), neg(2)}), 4);
+  EXPECT_FALSE(a.value(0));
+  EXPECT_TRUE(a.value(1));
+  EXPECT_FALSE(a.value(2));
+  EXPECT_TRUE(a.satisfies(Cube({pos(1)})));
+  EXPECT_FALSE(a.satisfies(Cube({pos(2)})));
+}
+
+TEST(Assignment, EnumerateProducesAllDistinct) {
+  const auto all = Assignment::enumerate(3);
+  ASSERT_EQ(all.size(), 8u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i], all[j]);
+    }
+  }
+}
+
+TEST(Assignment, ToCubeRoundTrips) {
+  Assignment a(3);
+  a.set(1, true);
+  const Cube c = a.to_cube();
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.value_of(1), true);
+  EXPECT_EQ(c.value_of(2), false);
+}
+
+TEST(Assignment, OutOfUniverseThrows) {
+  Assignment a(2);
+  EXPECT_THROW(a.value(2), InvalidArgument);
+  EXPECT_THROW(Assignment::from_cube(Cube(pos(5)), 2), InvalidArgument);
+}
+
+// ------------------------------------------------------ ConditionSet --
+
+TEST(ConditionSet, RegistersAndRenders) {
+  ConditionSet cs;
+  const CondId c = cs.add("C");
+  const CondId d = cs.add("D");
+  EXPECT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs.id_of("D"), d);
+  EXPECT_EQ(cs.render(Cube({Literal{c, true}, Literal{d, false}})),
+            "C & !D");
+  EXPECT_EQ(cs.render(Literal{d, false}), "!D");
+}
+
+TEST(ConditionSet, RejectsDuplicatesAndUnknown) {
+  ConditionSet cs;
+  cs.add("C");
+  EXPECT_THROW(cs.add("C"), InvalidArgument);
+  EXPECT_THROW(cs.id_of("Z"), InvalidArgument);
+  EXPECT_THROW(cs.add(""), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cps

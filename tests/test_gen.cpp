@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "gen/arch_gen.hpp"
+#include "gen/random_cpg.hpp"
+#include "support/stats.hpp"
+#include "test_util.hpp"
+
+namespace cps {
+namespace {
+
+TEST(ArchGen, StaysWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Architecture arch = generate_random_architecture(rng);
+    const auto procs = arch.processors().size();
+    const auto buses = arch.buses().size();
+    EXPECT_GE(procs, 1u);
+    EXPECT_LE(procs, 11u);
+    EXPECT_GE(buses, 1u);
+    EXPECT_LE(buses, 8u);
+    EXPECT_EQ(arch.of_kind(PeKind::kHardware).size(), 1u);
+    EXPECT_FALSE(arch.broadcast_buses().empty());
+  }
+}
+
+TEST(ArchGen, CoversTheRanges) {
+  Rng rng(2);
+  std::size_t min_p = 99, max_p = 0, min_b = 99, max_b = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Architecture arch = generate_random_architecture(rng);
+    min_p = std::min(min_p, arch.processors().size());
+    max_p = std::max(max_p, arch.processors().size());
+    min_b = std::min(min_b, arch.buses().size());
+    max_b = std::max(max_b, arch.buses().size());
+  }
+  EXPECT_EQ(min_p, 1u);
+  EXPECT_EQ(max_p, 11u);
+  EXPECT_EQ(min_b, 1u);
+  EXPECT_EQ(max_b, 8u);
+}
+
+TEST(ArchGen, ExampleArchitecture) {
+  const Architecture arch = example_architecture();
+  EXPECT_EQ(arch.pe_count(), 4u);
+  EXPECT_EQ(arch.processors().size(), 2u);
+}
+
+struct GenParam {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t paths;
+  TimeDistribution dist;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(GeneratorSweep, HitsExactPathAndNodeTargets) {
+  const GenParam p = GetParam();
+  Rng rng(p.seed);
+  const Architecture arch = generate_random_architecture(rng);
+  RandomCpgParams params;
+  params.process_count = p.nodes;
+  params.path_count = p.paths;
+  params.distribution = p.dist;
+  const Cpg g = generate_random_cpg(arch, params, rng);  // validates
+
+  EXPECT_GE(g.ordinary_process_count(), p.nodes);
+  // Padding never overshoots by more than the skeleton size.
+  EXPECT_LE(g.ordinary_process_count(), p.nodes + 4 * p.paths);
+  EXPECT_EQ(enumerate_paths(g).size(), p.paths);
+
+  // Execution times respect the configured bounds for the uniform case.
+  if (p.dist == TimeDistribution::kUniform) {
+    for (const Process& proc : g.processes()) {
+      if (proc.is_dummy()) continue;
+      EXPECT_GE(proc.exec_time, params.exec_min);
+      EXPECT_LE(proc.exec_time, params.exec_max);
+    }
+  }
+  // Communication times never undercut tau0.
+  for (const CpgEdge& e : g.edges()) {
+    if (e.bus) {
+      EXPECT_GE(e.comm_time, g.arch().cond_broadcast_time());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperWorkload, GeneratorSweep,
+    ::testing::Values(GenParam{1, 60, 10, TimeDistribution::kUniform},
+                      GenParam{2, 60, 12, TimeDistribution::kExponential},
+                      GenParam{3, 80, 18, TimeDistribution::kUniform},
+                      GenParam{4, 80, 24, TimeDistribution::kExponential},
+                      GenParam{5, 120, 32, TimeDistribution::kUniform},
+                      GenParam{6, 120, 10, TimeDistribution::kExponential},
+                      GenParam{7, 60, 32, TimeDistribution::kUniform},
+                      GenParam{8, 120, 24, TimeDistribution::kUniform}));
+
+TEST(Generator, DeterministicForSameSeed) {
+  RandomCpgParams params;
+  params.process_count = 40;
+  params.path_count = 8;
+  Rng rng1(9), rng2(9);
+  const Architecture a1 = generate_random_architecture(rng1);
+  const Architecture a2 = generate_random_architecture(rng2);
+  const Cpg g1 = generate_random_cpg(a1, params, rng1);
+  const Cpg g2 = generate_random_cpg(a2, params, rng2);
+  ASSERT_EQ(g1.process_count(), g2.process_count());
+  ASSERT_EQ(g1.edge_count(), g2.edge_count());
+  for (ProcessId p = 0; p < g1.process_count(); ++p) {
+    EXPECT_EQ(g1.process(p).exec_time, g2.process(p).exec_time);
+    EXPECT_EQ(g1.process(p).mapping, g2.process(p).mapping);
+  }
+}
+
+TEST(Generator, SinglePathProducesNoConditions) {
+  Rng rng(3);
+  const Architecture arch = example_architecture();
+  RandomCpgParams params;
+  params.process_count = 10;
+  params.path_count = 1;
+  const Cpg g = generate_random_cpg(arch, params, rng);
+  EXPECT_EQ(g.conditions().size(), 0u);
+  EXPECT_EQ(enumerate_paths(g).size(), 1u);
+}
+
+TEST(Generator, RejectsZeroPaths) {
+  Rng rng(1);
+  const Architecture arch = example_architecture();
+  RandomCpgParams params;
+  params.path_count = 0;
+  EXPECT_THROW(generate_random_cpg(arch, params, rng), InvalidArgument);
+}
+
+TEST(Generator, ExponentialTimesHavePlausibleSpread) {
+  Rng rng(4);
+  const Architecture arch = example_architecture();
+  RandomCpgParams params;
+  params.process_count = 200;
+  params.path_count = 4;
+  params.distribution = TimeDistribution::kExponential;
+  params.exec_mean = 10.0;
+  const Cpg g = generate_random_cpg(arch, params, rng);
+  StatAccumulator acc;
+  for (const Process& p : g.processes()) {
+    if (!p.is_dummy()) acc.add(static_cast<double>(p.exec_time));
+  }
+  EXPECT_NEAR(acc.mean(), 10.0, 3.0);
+  EXPECT_GT(acc.max(), 2 * acc.mean());  // heavy tail present
+}
+
+}  // namespace
+}  // namespace cps

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "io/cpg_format.hpp"
+#include "io/gantt.hpp"
+#include "io/table_csv.hpp"
+#include "models/fig1.hpp"
+#include "sched/driver.hpp"
+#include "test_util.hpp"
+
+namespace cps {
+namespace {
+
+constexpr const char* kModel = R"(
+@arch
+processor p1 1.0
+processor p2 2.0
+hardware hw
+bus b
+memory m
+tau0 2
+@conditions
+C
+@processes
+A p1 4
+B p2 6
+M m 3
+@conjunctions
+@edges
+A B C 2
+A M !C 2
+)";
+
+TEST(CpgFormat, ParsesArchitecture) {
+  const Cpg g = parse_cpg_string(kModel);
+  const Architecture& arch = g.arch();
+  EXPECT_EQ(arch.pe_count(), 5u);
+  EXPECT_DOUBLE_EQ(arch.pe(arch.id_of("p2")).speed, 2.0);
+  EXPECT_EQ(arch.pe(arch.id_of("hw")).kind, PeKind::kHardware);
+  EXPECT_EQ(arch.pe(arch.id_of("m")).kind, PeKind::kMemory);
+  EXPECT_EQ(arch.cond_broadcast_time(), 2);
+}
+
+TEST(CpgFormat, ParsesProcessesAndEdges) {
+  const Cpg g = parse_cpg_string(kModel);
+  EXPECT_EQ(g.ordinary_process_count(), 3u);
+  const Process& a = g.process(g.process_by_name("A"));
+  EXPECT_TRUE(a.is_disjunction());
+  const Process& b = g.process(g.process_by_name("B"));
+  EXPECT_EQ(g.conditions().render(b.guard), "C");
+  const Process& m = g.process(g.process_by_name("M"));
+  EXPECT_EQ(g.conditions().render(m.guard), "!C");
+}
+
+TEST(CpgFormat, CommentsAndBlankLinesIgnored) {
+  const Cpg g = parse_cpg_string(
+      "# leading comment\n@arch\nprocessor p  # trailing\n\n@processes\n"
+      "A p 1\n");
+  EXPECT_EQ(g.ordinary_process_count(), 1u);
+}
+
+TEST(CpgFormat, RoundTripPreservesTheModel) {
+  const Cpg original = build_fig1_cpg();
+  const std::string text = write_cpg_string(original);
+  const Cpg parsed = parse_cpg_string(text);
+
+  EXPECT_EQ(parsed.ordinary_process_count(),
+            original.ordinary_process_count());
+  EXPECT_EQ(parsed.conditions().size(), original.conditions().size());
+  EXPECT_EQ(parsed.arch().pe_count(), original.arch().pe_count());
+  // Guards survive the round trip.
+  for (const Process& p : original.processes()) {
+    if (p.is_dummy()) continue;
+    const Process& q = parsed.process(parsed.process_by_name(p.name));
+    EXPECT_TRUE(p.guard.equivalent(q.guard)) << p.name;
+    EXPECT_EQ(p.exec_time, q.exec_time);
+  }
+  // And the schedule of the round-tripped model is identical.
+  const CoSynthesisResult a = schedule_cpg(original);
+  const CoSynthesisResult b = schedule_cpg(parsed);
+  EXPECT_EQ(a.delays.delta_max, b.delays.delta_max);
+  EXPECT_EQ(a.delays.delta_m, b.delays.delta_m);
+}
+
+TEST(CpgFormat, ErrorsAreReportedWithLineNumbers) {
+  EXPECT_THROW(parse_cpg_string("processor p\n"), ParseError);  // no section
+  EXPECT_THROW(parse_cpg_string("@arch\nrocket p\n"), ParseError);
+  EXPECT_THROW(parse_cpg_string("@arch\nprocessor p\n@processes\nA p -3\n"),
+               ParseError);
+  EXPECT_THROW(parse_cpg_string("@arch\nprocessor p\n@processes\nA p 1\n"
+                                "@edges\nA Zed 1\n"),
+               ParseError);
+  EXPECT_THROW(parse_cpg_string("@bogus\n"), ParseError);
+  EXPECT_THROW(parse_cpg_string("@arch\nprocessor p\n@processes\nA p 1\n"
+                                "A p 2\n"),
+               ParseError);
+  EXPECT_THROW(parse_cpg_file("/nonexistent/file.cpg"), ParseError);
+}
+
+TEST(CpgFormat, UnknownConditionInEdge) {
+  EXPECT_THROW(
+      parse_cpg_string("@arch\nprocessor p\n@processes\nA p 1\nB p 1\n"
+                       "@edges\nA B X 1\n"),
+      ParseError);
+}
+
+TEST(Gantt, RendersResourceRows) {
+  const Cpg g = build_fig1_cpg();
+  const CoSynthesisResult r = schedule_cpg(g);
+  std::ostringstream os;
+  GanttOptions opt;
+  opt.title = "demo";
+  render_gantt(os, r.flat_graph(), r.path_schedules.front(), opt);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("pe1"), std::string::npos);
+  EXPECT_NE(s.find("pe2"), std::string::npos);
+  EXPECT_NE(s.find("pe4"), std::string::npos);  // the bus carries comms
+  EXPECT_NE(s.find("P1"), std::string::npos);
+}
+
+
+TEST(TableCsv, ExportsCellsAndDelays) {
+  const Cpg g = build_fig1_cpg();
+  const CoSynthesisResult r = schedule_cpg(g);
+
+  std::ostringstream table_os;
+  write_table_csv(table_os, r.table);
+  const std::string t = table_os.str();
+  EXPECT_NE(t.find("task,kind,resource,column,start"), std::string::npos);
+  EXPECT_NE(t.find("P1,process,pe1,true,0"), std::string::npos);
+  EXPECT_NE(t.find("D,broadcast,pe4,true,6"), std::string::npos);
+  // One CSV row per table cell plus the header.
+  const auto lines = static_cast<std::size_t>(
+      std::count(t.begin(), t.end(), '\n'));
+  EXPECT_EQ(lines, r.table.entry_count() + 1);
+
+  std::ostringstream delay_os;
+  write_delay_csv(delay_os, r.flat_graph(), r.paths, r.delays);
+  const std::string d = delay_os.str();
+  EXPECT_NE(d.find("path,optimal_delay,table_delay"), std::string::npos);
+  EXPECT_NE(d.find("C & D & K,39,39"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cps

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "gen/arch_gen.hpp"
+#include "gen/random_cpg.hpp"
+#include "models/fig1.hpp"
+#include "sched/list_scheduler.hpp"
+#include "test_util.hpp"
+
+namespace cps {
+namespace {
+
+using testing::expect_schedule_invariants;
+using testing::small_arch;
+
+TEST(ListScheduler, SequentialChainOnOneProcessor) {
+  Architecture arch;
+  arch.add_processor("p");
+  CpgBuilder b(arch);
+  const ProcessId p1 = b.add_process("P1", 0, 3);
+  const ProcessId p2 = b.add_process("P2", 0, 4);
+  b.add_edge(p1, p2);
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+  ASSERT_EQ(paths.size(), 1u);
+  const PathSchedule s = schedule_path(fg, paths[0]);
+  EXPECT_EQ(s.slot(fg.task_of_process(p1)).start, 0);
+  EXPECT_EQ(s.slot(fg.task_of_process(p2)).start, 3);
+  EXPECT_EQ(s.delay(fg), 7);
+}
+
+TEST(ListScheduler, ProcessorSerializesHardwareDoesNot) {
+  // Two independent processes: on a processor they serialize, on an ASIC
+  // they overlap.
+  for (const bool hardware : {false, true}) {
+    Architecture arch;
+    PeId pe;
+    if (hardware) {
+      pe = arch.add_hardware("hw");
+    } else {
+      pe = arch.add_processor("p");
+    }
+    CpgBuilder b(arch);
+    b.add_process("A", pe, 5);
+    b.add_process("B", pe, 5);
+    const Cpg g = b.build();
+    const FlatGraph fg = FlatGraph::expand(g);
+    const auto paths = enumerate_paths(g);
+    const PathSchedule s = schedule_path(fg, paths[0]);
+    EXPECT_EQ(s.delay(fg), hardware ? 5 : 10);
+  }
+}
+
+TEST(ListScheduler, CommunicationOccupiesBus) {
+  // Two transfers over one bus serialize.
+  Architecture arch = small_arch();
+  CpgBuilder b(arch);
+  const ProcessId a = b.add_process("A", 0, 2);
+  const ProcessId b1 = b.add_process("B1", 1, 1);
+  const ProcessId b2 = b.add_process("B2", 1, 1);
+  b.add_edge(a, b1, 4);
+  b.add_edge(a, b2, 4);
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+  const PathSchedule s = schedule_path(fg, paths[0]);
+  // A ends at 2; the two comms run 2-6 and 6-10; B's run 1 each.
+  EXPECT_EQ(s.delay(fg), 11);
+  expect_schedule_invariants(fg, s, fg.active_tasks(paths[0].label));
+}
+
+TEST(ListScheduler, CriticalPathPriorityPrefersUrgentTask) {
+  // Two ready tasks on one processor: A (short, no successors) and B
+  // (feeds a long chain). Critical-path priority must start B first.
+  Architecture arch;
+  arch.add_processor("p");
+  CpgBuilder b(arch);
+  const ProcessId ta = b.add_process("A", 0, 5);
+  const ProcessId tb = b.add_process("B", 0, 2);
+  const ProcessId tc = b.add_process("C", 0, 10);
+  b.add_edge(tb, tc);
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+  const PathSchedule s = schedule_path(fg, paths[0]);
+  // B (urgency 12) precedes A (urgency 5); C follows B; A runs last.
+  EXPECT_EQ(s.slot(fg.task_of_process(tb)).start, 0);
+  EXPECT_EQ(s.slot(fg.task_of_process(tc)).start, 2);
+  EXPECT_EQ(s.slot(fg.task_of_process(ta)).start, 12);
+  EXPECT_EQ(s.delay(fg), 17);
+}
+
+TEST(ListScheduler, KnowledgeRuleDelaysGuardedProcessOnRemotePe) {
+  // P1 on cpu1 computes C at t=2; P2 (guard C) runs on cpu2 and needs the
+  // broadcast: start >= end(P1) + tau0 and after the comm of its input.
+  Architecture arch = small_arch();
+  CpgBuilder b(arch);
+  const CondId c = b.add_condition("C");
+  const ProcessId p1 = b.add_process("P1", 0, 2);
+  const ProcessId p2 = b.add_process("P2", 1, 3);
+  b.add_cond_edge(p1, p2, Literal{c, true}, /*comm=*/1);
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  for (const AltPath& path : enumerate_paths(g)) {
+    const PathSchedule s = schedule_path(fg, path);
+    expect_schedule_invariants(fg, s, fg.active_tasks(path.label));
+    if (path.label.value_of(c) == true) {
+      const Slot& p2s = s.slot(fg.task_of_process(p2));
+      const auto bcast = fg.broadcast_task(c);
+      ASSERT_TRUE(bcast.has_value());
+      ASSERT_TRUE(s.scheduled(*bcast));
+      // P2 cannot start before the broadcast has delivered C to cpu2.
+      EXPECT_GE(p2s.start, s.slot(*bcast).end);
+    }
+  }
+}
+
+TEST(ListScheduler, GuardTrueProcessNeedsNoKnowledge) {
+  // A process with guard true on a remote PE may start before any
+  // broadcast arrives.
+  Architecture arch = small_arch();
+  CpgBuilder b(arch);
+  const CondId c = b.add_condition("C");
+  const ProcessId p1 = b.add_process("P1", 0, 5);
+  const ProcessId p2 = b.add_process("P2", 0, 5);
+  const ProcessId p3 = b.add_process("P3", 1, 1);  // independent, guard true
+  b.add_cond_edge(p1, p2, Literal{c, true});
+  (void)p3;
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+  for (const AltPath& path : paths) {
+    const PathSchedule s = schedule_path(fg, path);
+    EXPECT_EQ(s.slot(fg.task_of_process(p3)).start, 0);
+  }
+}
+
+TEST(ListScheduler, BroadcastUsesFirstAvailableBus) {
+  const Cpg g = build_fig1_cpg();
+  const FlatGraph fg = FlatGraph::expand(g);
+  for (const AltPath& path : enumerate_paths(g)) {
+    const PathSchedule s = schedule_path(fg, path);
+    const auto active = fg.active_tasks(path.label);
+    expect_schedule_invariants(fg, s, active);
+    for (CondId c = 0; c < 3; ++c) {
+      const auto bt = fg.broadcast_task(c);
+      if (!active[*bt]) continue;
+      const Slot& bs = s.slot(*bt);
+      EXPECT_TRUE(fg.arch().pe(bs.resource).is_bus());
+      // Broadcast never precedes its disjunction.
+      EXPECT_GE(bs.start, s.slot(fg.disjunction_task(c)).end);
+    }
+  }
+}
+
+TEST(ListScheduler, LockedTaskStartsExactlyAtReservation) {
+  Architecture arch;
+  arch.add_processor("p");
+  CpgBuilder b(arch);
+  const ProcessId p1 = b.add_process("P1", 0, 2);
+  const ProcessId p2 = b.add_process("P2", 0, 3);
+  b.add_edge(p1, p2);
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+
+  EngineRequest req;
+  req.label = paths[0].label;
+  req.active = fg.active_tasks(paths[0].label);
+  req.priority = compute_priorities(fg, req.active,
+                                    PriorityPolicy::kCriticalPath);
+  req.locks.assign(fg.task_count(), std::nullopt);
+  const TaskId t2 = fg.task_of_process(p2);
+  req.locks[t2] = TaskLock{10, 0};
+  const EngineResult res = run_list_scheduler(fg, req);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.schedule.slot(t2).start, 10);
+  EXPECT_EQ(res.schedule.slot(fg.task_of_process(p1)).start, 0);
+}
+
+TEST(ListScheduler, InfeasibleLockIsReported) {
+  Architecture arch;
+  arch.add_processor("p");
+  CpgBuilder b(arch);
+  const ProcessId p1 = b.add_process("P1", 0, 5);
+  const ProcessId p2 = b.add_process("P2", 0, 3);
+  b.add_edge(p1, p2);
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+
+  EngineRequest req;
+  req.label = paths[0].label;
+  req.active = fg.active_tasks(paths[0].label);
+  req.priority = compute_priorities(fg, req.active,
+                                    PriorityPolicy::kCriticalPath);
+  req.locks.assign(fg.task_count(), std::nullopt);
+  const TaskId t2 = fg.task_of_process(p2);
+  req.locks[t2] = TaskLock{2, 0};  // before P1 can finish
+  const EngineResult res = run_list_scheduler(fg, req);
+  EXPECT_FALSE(res.feasible);
+  ASSERT_TRUE(res.offending_lock.has_value());
+  EXPECT_EQ(*res.offending_lock, t2);
+}
+
+TEST(ListScheduler, UnlockedTasksFlowAroundReservations) {
+  // One processor; a lock reserves [0, 4) for B; A (ready at 0, duration
+  // 3) must wait until 4 — it cannot overlap the reservation.
+  Architecture arch;
+  arch.add_processor("p");
+  CpgBuilder b(arch);
+  const ProcessId pa = b.add_process("A", 0, 3);
+  const ProcessId pb = b.add_process("B", 0, 4);
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+
+  EngineRequest req;
+  req.label = paths[0].label;
+  req.active = fg.active_tasks(paths[0].label);
+  req.priority = compute_priorities(fg, req.active,
+                                    PriorityPolicy::kCriticalPath);
+  req.locks.assign(fg.task_count(), std::nullopt);
+  req.locks[fg.task_of_process(pb)] = TaskLock{0, 0};
+  const EngineResult res = run_list_scheduler(fg, req);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.schedule.slot(fg.task_of_process(pb)).start, 0);
+  EXPECT_EQ(res.schedule.slot(fg.task_of_process(pa)).start, 4);
+}
+
+TEST(ListScheduler, GapFillingBeforeReservation) {
+  // Reservation at [5, 9); a 3-unit task fits in front of it.
+  Architecture arch;
+  arch.add_processor("p");
+  CpgBuilder b(arch);
+  const ProcessId pa = b.add_process("A", 0, 3);
+  const ProcessId pb = b.add_process("B", 0, 4);
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+
+  EngineRequest req;
+  req.label = paths[0].label;
+  req.active = fg.active_tasks(paths[0].label);
+  req.priority = compute_priorities(fg, req.active,
+                                    PriorityPolicy::kCriticalPath);
+  req.locks.assign(fg.task_count(), std::nullopt);
+  req.locks[fg.task_of_process(pb)] = TaskLock{5, 0};
+  const EngineResult res = run_list_scheduler(fg, req);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.schedule.slot(fg.task_of_process(pa)).start, 0);
+  EXPECT_EQ(res.schedule.slot(fg.task_of_process(pb)).start, 5);
+}
+
+// Property sweep: schedules of random CPGs satisfy all physical
+// invariants on every path and with every priority policy.
+struct SweepParam {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t paths;
+};
+
+class ScheduleSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ScheduleSweep, InvariantsHoldOnAllPaths) {
+  const SweepParam param = GetParam();
+  Rng rng(param.seed);
+  const Architecture arch = generate_random_architecture(rng);
+  RandomCpgParams params;
+  params.process_count = param.nodes;
+  params.path_count = param.paths;
+  const Cpg g = generate_random_cpg(arch, params, rng);
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+  EXPECT_EQ(paths.size(), param.paths);
+
+  for (const PriorityPolicy policy :
+       {PriorityPolicy::kCriticalPath, PriorityPolicy::kTaskOrder,
+        PriorityPolicy::kRandom}) {
+    Rng prio_rng(7);
+    for (const AltPath& path : paths) {
+      const PathSchedule s = schedule_path(fg, path, policy, &prio_rng);
+      expect_schedule_invariants(fg, s, fg.active_tasks(path.label));
+      EXPECT_GT(s.delay(fg), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, ScheduleSweep,
+    ::testing::Values(SweepParam{1, 20, 4}, SweepParam{2, 30, 6},
+                      SweepParam{3, 40, 10}, SweepParam{4, 25, 12},
+                      SweepParam{5, 50, 8}, SweepParam{6, 35, 5},
+                      SweepParam{7, 45, 16}, SweepParam{8, 60, 10}));
+
+}  // namespace
+}  // namespace cps

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "models/fig1.hpp"
+#include "test_util.hpp"
+
+namespace cps {
+namespace {
+
+using testing::small_arch;
+
+Cpg two_nested_conditions() {
+  // P1 computes C; on C, P2 computes K; join in P5.
+  CpgBuilder b(small_arch());
+  const CondId c = b.add_condition("C");
+  const CondId k = b.add_condition("K");
+  const ProcessId p1 = b.add_process("P1", 0, 2);
+  const ProcessId p2 = b.add_process("P2", 0, 2);
+  const ProcessId p3 = b.add_process("P3", 0, 2);
+  const ProcessId p4 = b.add_process("P4", 0, 2);
+  const ProcessId p5 = b.add_process("P5", 0, 2);
+  b.add_cond_edge(p1, p2, Literal{c, true});
+  b.add_cond_edge(p1, p5, Literal{c, false});
+  b.add_cond_edge(p2, p3, Literal{k, true});
+  b.add_cond_edge(p2, p4, Literal{k, false});
+  b.add_edge(p3, p5);
+  b.add_edge(p4, p5);
+  b.mark_conjunction(p5);
+  return b.build();
+}
+
+TEST(Paths, NoConditionsMeansOnePath) {
+  CpgBuilder b(small_arch());
+  const ProcessId p1 = b.add_process("P1", 0, 1);
+  const ProcessId p2 = b.add_process("P2", 0, 1);
+  b.add_edge(p1, p2);
+  const Cpg g = b.build();
+  const auto paths = enumerate_paths(g);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].label.is_true());
+  for (ProcessId p = 0; p < g.process_count(); ++p) {
+    EXPECT_TRUE(paths[0].active[p]);
+  }
+}
+
+TEST(Paths, NestedConditionsGiveThreePaths) {
+  const Cpg g = two_nested_conditions();
+  const auto paths = enumerate_paths(g);
+  ASSERT_EQ(paths.size(), 3u);  // C&K, C&!K, !C
+  // Labels must be pairwise incompatible.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_FALSE(paths[i].label.compatible(paths[j].label));
+    }
+  }
+  // !C path mentions only C (K's disjunction never runs).
+  bool found_notc = false;
+  for (const auto& p : paths) {
+    if (p.label.value_of(g.conditions().id_of("C")) == false) {
+      found_notc = true;
+      EXPECT_EQ(p.label.size(), 1u);
+    } else {
+      EXPECT_EQ(p.label.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found_notc);
+}
+
+TEST(Paths, ActiveSetsMatchGuards) {
+  const Cpg g = two_nested_conditions();
+  for (const auto& path : enumerate_paths(g)) {
+    const Assignment a = path.representative(g.conditions().size());
+    for (ProcessId p = 0; p < g.process_count(); ++p) {
+      EXPECT_EQ(path.active[p], g.active_under(p, a))
+          << g.process(p).name << " on " << path.label.to_string();
+    }
+    // Source and sink always run.
+    EXPECT_TRUE(path.active[g.source()]);
+    EXPECT_TRUE(path.active[g.sink()]);
+  }
+}
+
+TEST(Paths, LabelsPartitionTheAssignmentSpace) {
+  const Cpg g = two_nested_conditions();
+  const auto paths = enumerate_paths(g);
+  for (const Assignment& a : Assignment::enumerate(g.conditions().size())) {
+    std::size_t matches = 0;
+    for (const auto& p : paths) {
+      if (a.satisfies(p.label)) ++matches;
+    }
+    EXPECT_EQ(matches, 1u) << "assignment " << a.to_string();
+  }
+}
+
+TEST(Paths, PathForAssignmentAgreesWithEnumeration) {
+  const Cpg g = two_nested_conditions();
+  const auto paths = enumerate_paths(g);
+  for (const Assignment& a : Assignment::enumerate(g.conditions().size())) {
+    const AltPath p = path_for_assignment(g, a);
+    bool found = false;
+    for (const auto& q : paths) {
+      if (q.label == p.label) {
+        found = true;
+        EXPECT_EQ(q.active, p.active);
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Paths, Fig1HasSixPaths) {
+  const Cpg g = build_fig1_cpg();
+  const auto paths = enumerate_paths(g);
+  EXPECT_EQ(paths.size(), 6u);
+  // {C,!C} x {D&K, D&!K, !D}: the !D paths never mention K.
+  const CondId d = g.conditions().id_of("D");
+  const CondId k = g.conditions().id_of("K");
+  for (const auto& p : paths) {
+    ASSERT_TRUE(p.label.mentions(d));
+    EXPECT_EQ(p.label.mentions(k), p.label.value_of(d) == true);
+  }
+}
+
+}  // namespace
+}  // namespace cps

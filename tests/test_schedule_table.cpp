@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/table_render.hpp"
+#include "sched/schedule_table.hpp"
+#include "test_util.hpp"
+
+namespace cps {
+namespace {
+
+using testing::small_arch;
+
+class ScheduleTableTest : public ::testing::Test {
+ protected:
+  ScheduleTableTest() {
+    CpgBuilder b(small_arch());
+    c_ = b.add_condition("C");
+    p1_ = b.add_process("P1", 0, 2);
+    p2_ = b.add_process("P2", 0, 3);
+    b.add_cond_edge(p1_, p2_, Literal{c_, true});
+    g_ = b.build();
+    fg_ = FlatGraph::expand(*g_);
+  }
+
+  std::optional<Cpg> g_;
+  std::optional<FlatGraph> fg_;
+  CondId c_{};
+  ProcessId p1_{}, p2_{};
+
+  Cube cube_c(bool v) const { return Cube(Literal{c_, v}); }
+};
+
+// Work around optional members in the fixture.
+#define G (*g_)
+#define FG (*fg_)
+
+TEST_F(ScheduleTableTest, AddAndLookup) {
+  ScheduleTable t(FG);
+  const TaskId t2 = FG.task_of_process(p2_);
+  EXPECT_EQ(t.add_entry(t2, cube_c(true), 5, 0), AddEntryResult::kAdded);
+  EXPECT_EQ(t.add_entry(t2, cube_c(true), 5, 0),
+            AddEntryResult::kDuplicate);
+  EXPECT_EQ(t.add_entry(t2, cube_c(true), 9, 0), AddEntryResult::kClash);
+  ASSERT_EQ(t.row(t2).size(), 1u);
+  EXPECT_EQ(t.row(t2)[0].start, 5);
+}
+
+TEST_F(ScheduleTableTest, ConflictingEntries) {
+  ScheduleTable t(FG);
+  const TaskId t1 = FG.task_of_process(p1_);
+  t.add_entry(t1, Cube::top(), 0, 0);
+  // Compatible column, different time -> conflict.
+  const auto conflicts = t.conflicting_entries(t1, cube_c(true), 4, 0);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].start, 0);
+  // Same decision -> no conflict.
+  EXPECT_TRUE(t.conflicting_entries(t1, cube_c(true), 0, 0).empty());
+}
+
+TEST_F(ScheduleTableTest, IncompatibleColumnsDoNotConflict) {
+  ScheduleTable t(FG);
+  const TaskId t2 = FG.task_of_process(p2_);
+  t.add_entry(t2, cube_c(true), 5, 0);
+  EXPECT_TRUE(t.conflicting_entries(t2, cube_c(false), 9, 0).empty());
+}
+
+TEST_F(ScheduleTableTest, ActivationSelectsByLabel) {
+  ScheduleTable t(FG);
+  const TaskId t2 = FG.task_of_process(p2_);
+  t.add_entry(t2, cube_c(true), 7, 0);
+  const auto on = t.activation(t2, cube_c(true));
+  ASSERT_TRUE(on.has_value());
+  EXPECT_EQ(on->start, 7);
+  EXPECT_FALSE(t.activation(t2, cube_c(false)).has_value());
+}
+
+TEST_F(ScheduleTableTest, AmbiguousActivationIsInternalError) {
+  ScheduleTable t(FG);
+  const TaskId t2 = FG.task_of_process(p2_);
+  // Two compatible columns with different times (a requirement-2
+  // violation built by hand).
+  t.add_entry(t2, cube_c(true), 7, 0);
+  t.add_entry(t2, Cube::top(), 9, 0);
+  EXPECT_THROW(t.activation(t2, cube_c(true)), InternalError);
+}
+
+TEST_F(ScheduleTableTest, ColumnsSortedBySizeThenValue) {
+  ScheduleTable t(FG);
+  const TaskId t1 = FG.task_of_process(p1_);
+  const TaskId t2 = FG.task_of_process(p2_);
+  t.add_entry(t2, cube_c(true), 5, 0);
+  t.add_entry(t1, Cube::top(), 0, 0);
+  const auto cols = t.columns();
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_TRUE(cols[0].is_true());
+  EXPECT_EQ(cols[1], cube_c(true));
+  EXPECT_EQ(t.entry_count(), 2u);
+}
+
+TEST_F(ScheduleTableTest, RenderShowsRowsAndColumns) {
+  ScheduleTable t(FG);
+  t.add_entry(FG.task_of_process(p1_), Cube::top(), 0, 0);
+  t.add_entry(FG.task_of_process(p2_), cube_c(true), 4, 0);
+  std::ostringstream os;
+  render_schedule_table(os, t);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("P1"), std::string::npos);
+  EXPECT_NE(s.find("P2"), std::string::npos);
+  EXPECT_NE(s.find("C"), std::string::npos);
+  EXPECT_NE(s.find("4"), std::string::npos);
+}
+
+#undef G
+#undef FG
+
+}  // namespace
+}  // namespace cps

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table_format.hpp"
+
+namespace cps {
+namespace {
+
+// ----------------------------------------------------------- Rng ------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(4, 0);
+  for (int i = 0; i < 400; ++i) ++seen[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyRequestedMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(8.0);
+  EXPECT_NEAR(sum / n, 8.0, 0.5);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, PickThrowsOnEmpty) {
+  Rng rng(1);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), InvalidArgument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(17);
+  Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+// ---------------------------------------------------------- stats -----
+
+TEST(Stats, MeanStdMinMax) {
+  StatAccumulator acc;
+  acc.add_all({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1);
+  EXPECT_DOUBLE_EQ(acc.max(), 4);
+  EXPECT_NEAR(acc.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  StatAccumulator acc;
+  acc.add_all({10, 20, 30, 40, 50});
+  EXPECT_DOUBLE_EQ(acc.percentile(0), 10);
+  EXPECT_DOUBLE_EQ(acc.percentile(100), 50);
+  EXPECT_DOUBLE_EQ(acc.median(), 30);
+  EXPECT_DOUBLE_EQ(acc.percentile(25), 20);
+}
+
+TEST(Stats, FractionCountsPredicate) {
+  StatAccumulator acc;
+  acc.add_all({0, 0, 1, 2});
+  EXPECT_DOUBLE_EQ(acc.fraction([](double x) { return x == 0; }), 0.5);
+}
+
+TEST(Stats, EmptyAccumulatorThrows) {
+  StatAccumulator acc;
+  EXPECT_THROW(acc.mean(), InvalidArgument);
+  EXPECT_THROW(acc.min(), InvalidArgument);
+  EXPECT_THROW(acc.percentile(50), InvalidArgument);
+}
+
+// --------------------------------------------------------- strings ----
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  EXPECT_EQ(split_ws("  a \t b \n"),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Strings, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, JoinConcatenates) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+// ----------------------------------------------------------- csv ------
+
+TEST(Csv, QuotesOnlyWhenNeeded) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Csv, FluentCells) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.cell("a").cell(std::int64_t{7}).cell(1.5, 1).end_row();
+  EXPECT_EQ(os.str(), "a,7,1.5\n");
+}
+
+// ------------------------------------------------------ ascii table ---
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t;
+  t.header({"name", "value"});
+  t.cell("x").cell(std::int64_t{10}).end_row();
+  std::ostringstream os;
+  t.render(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name | value |"), std::string::npos);
+  EXPECT_NE(s.find("| x    |    10 |"), std::string::npos);
+}
+
+// ----------------------------------------------------------- cli ------
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  CliParser cli("test");
+  cli.add_flag("nodes", "60", "node count");
+  cli.add_bool("verbose", "chatty");
+  const char* argv[] = {"prog", "--nodes", "80", "--verbose", "file.cpg"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("nodes"), 80);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "file.cpg");
+}
+
+TEST(Cli, EqualsSyntaxAndDefaults) {
+  CliParser cli("test");
+  cli.add_flag("paths", "10", "paths");
+  const char* argv[] = {"prog", "--paths=32"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("paths"), 32);
+
+  CliParser cli2("test");
+  cli2.add_flag("paths", "10", "paths");
+  const char* argv2[] = {"prog"};
+  ASSERT_TRUE(cli2.parse(1, argv2));
+  EXPECT_EQ(cli2.get_int("paths"), 10);
+}
+
+TEST(Cli, RejectsUnknownFlagAndBadValues) {
+  CliParser cli("test");
+  cli.add_flag("n", "1", "n");
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(cli.parse(3, argv), ParseError);
+
+  CliParser cli2("test");
+  cli2.add_flag("n", "1", "n");
+  const char* argv2[] = {"prog", "--n", "xyz"};
+  ASSERT_TRUE(cli2.parse(3, argv2));
+  EXPECT_THROW(cli2.get_int("n"), ParseError);
+}
+
+TEST(Cli, MissingValueIsAnError) {
+  CliParser cli("test");
+  cli.add_flag("n", "1", "n");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), ParseError);
+}
+
+// ---------------------------------------------------------- error -----
+
+TEST(Error, AssertMacroThrowsInternalError) {
+  EXPECT_THROW(CPS_ASSERT(false, "boom"), InternalError);
+  EXPECT_NO_THROW(CPS_ASSERT(true, "fine"));
+}
+
+TEST(Error, RequireMacroThrowsInvalidArgument) {
+  EXPECT_THROW(CPS_REQUIRE(false, "bad arg"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cps

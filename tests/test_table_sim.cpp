@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "models/fig1.hpp"
+#include "sched/driver.hpp"
+#include "sched/table_sim.hpp"
+#include "test_util.hpp"
+
+namespace cps {
+namespace {
+
+using testing::small_arch;
+
+class TableSimTest : public ::testing::Test {
+ protected:
+  TableSimTest() : g_(build_fig1_cpg()), result_(schedule_cpg(g_)) {}
+
+  Cpg g_;
+  CoSynthesisResult result_;
+};
+
+TEST_F(TableSimTest, ValidTableExecutesCleanlyOnEveryPath) {
+  for (const AltPath& path : result_.paths) {
+    const TableExecution exec =
+        execute_table(result_.flat_graph(), result_.table, path);
+    EXPECT_TRUE(exec.ok) << (exec.violations.empty()
+                                 ? ""
+                                 : exec.violations.front());
+    EXPECT_GT(exec.delay, 0);
+  }
+}
+
+TEST_F(TableSimTest, DelayMatchesDelayReport) {
+  for (std::size_t i = 0; i < result_.paths.size(); ++i) {
+    const TableExecution exec =
+        execute_table(result_.flat_graph(), result_.table, result_.paths[i]);
+    EXPECT_EQ(exec.delay, result_.delays.path_actual[i]);
+  }
+}
+
+TEST_F(TableSimTest, MissingActivationIsReported) {
+  // Erase one row of a copy of the table: requirement 3 violation.
+  ScheduleTable broken(result_.flat_graph());
+  const TaskId victim =
+      result_.flat_graph().task_of_process(g_.process_by_name("P1"));
+  for (TaskId t = 0; t < result_.flat_graph().task_count(); ++t) {
+    if (t == victim) continue;
+    for (const TableEntry& e : result_.table.row(t)) {
+      broken.add_entry(t, e.column, e.start, e.resource);
+    }
+  }
+  const TableExecution exec =
+      execute_table(result_.flat_graph(), broken, result_.paths.front());
+  EXPECT_FALSE(exec.ok);
+  bool mentions_p1 = false;
+  for (const auto& v : exec.violations) {
+    if (v.find("P1") != std::string::npos) mentions_p1 = true;
+  }
+  EXPECT_TRUE(mentions_p1);
+}
+
+TEST_F(TableSimTest, DependencyViolationIsDetected) {
+  // Move a process before its predecessor finishes.
+  ScheduleTable broken(result_.flat_graph());
+  const TaskId p3 =
+      result_.flat_graph().task_of_process(g_.process_by_name("P3"));
+  for (TaskId t = 0; t < result_.flat_graph().task_count(); ++t) {
+    for (const TableEntry& e : result_.table.row(t)) {
+      broken.add_entry(t, e.column, t == p3 ? 0 : e.start, e.resource);
+    }
+  }
+  const TableExecution exec =
+      execute_table(result_.flat_graph(), broken, result_.paths.front());
+  EXPECT_FALSE(exec.ok);
+}
+
+TEST_F(TableSimTest, ValidatorFlagsRequirementViolations) {
+  // A hand-built incoherent table: same process, compatible columns,
+  // different times (req. 2) and a column that does not imply the guard
+  // (req. 1).
+  const FlatGraph& fg = result_.flat_graph();
+  ScheduleTable broken(fg);
+  const CondId c = g_.conditions().id_of("C");
+  const TaskId p4 = fg.task_of_process(g_.process_by_name("P4"));
+  // P4's guard is C; a 'true' column violates requirement 1 and clashes
+  // with a C column at another time (requirement 2).
+  broken.add_entry(p4, Cube::top(), 3, 0);
+  broken.add_entry(p4, Cube(Literal{c, true}), 9, 0);
+  const TableValidation v = validate_table(fg, broken, result_.paths);
+  EXPECT_FALSE(v.ok);
+  bool req1 = false;
+  bool req2 = false;
+  for (const auto& msg : v.violations) {
+    if (msg.find("req1") != std::string::npos) req1 = true;
+    if (msg.find("req2") != std::string::npos) req2 = true;
+  }
+  EXPECT_TRUE(req1);
+  EXPECT_TRUE(req2);
+}
+
+TEST_F(TableSimTest, ValidatorAcceptsGeneratedTable) {
+  const TableValidation v =
+      validate_table(result_.flat_graph(), result_.table, result_.paths);
+  EXPECT_TRUE(v.ok);
+  EXPECT_TRUE(v.violations.empty());
+}
+
+TEST(TableSim, KnowledgeViolationDetected) {
+  // A process guarded by C on a remote PE activated before the broadcast
+  // can possibly arrive.
+  CpgBuilder b(small_arch());
+  const CondId c = b.add_condition("C");
+  const ProcessId p1 = b.add_process("P1", 0, 4);
+  const ProcessId p2 = b.add_process("P2", 1, 2);
+  b.add_cond_edge(p1, p2, Literal{c, true}, 2);
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+
+  // Build a deliberately premature table.
+  ScheduleTable premature(fg);
+  const CoSynthesisResult good = schedule_cpg(g);
+  for (TaskId t = 0; t < fg.task_count(); ++t) {
+    for (const TableEntry& e : good.table.row(t)) {
+      const bool is_p2 = t == fg.task_of_process(p2);
+      premature.add_entry(t, e.column, is_p2 ? 4 : e.start, e.resource);
+    }
+  }
+  bool violation_found = false;
+  for (const AltPath& path : paths) {
+    if (path.label.value_of(c) != true) continue;
+    const TableExecution exec = execute_table(fg, premature, path);
+    if (!exec.ok) violation_found = true;
+  }
+  EXPECT_TRUE(violation_found);
+}
+
+}  // namespace
+}  // namespace cps

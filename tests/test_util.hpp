@@ -1,0 +1,69 @@
+// Shared helpers for the condsched test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpg/builder.hpp"
+#include "cpg/flat_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace cps::testing {
+
+/// A small architecture: two processors, one ASIC, one bus, tau0 = 1.
+inline Architecture small_arch() {
+  Architecture arch;
+  arch.add_processor("cpu1");
+  arch.add_processor("cpu2");
+  arch.add_hardware("hw");
+  arch.add_bus("bus");
+  arch.set_cond_broadcast_time(1);
+  return arch;
+}
+
+/// Physical-realizability check for a PathSchedule: dependencies among
+/// active tasks respected, sequential resources exclusive, every active
+/// task scheduled exactly once.
+inline void expect_schedule_invariants(const FlatGraph& fg,
+                                       const PathSchedule& sched,
+                                       const std::vector<bool>& active) {
+  for (TaskId t = 0; t < fg.task_count(); ++t) {
+    if (active[t]) {
+      ASSERT_TRUE(sched.scheduled(t))
+          << "active task " << fg.task(t).name << " is unscheduled";
+      EXPECT_EQ(sched.slot(t).end - sched.slot(t).start,
+                fg.task(t).duration)
+          << fg.task(t).name;
+    } else {
+      EXPECT_FALSE(sched.scheduled(t))
+          << "inactive task " << fg.task(t).name << " is scheduled";
+    }
+  }
+  // Dependencies.
+  for (TaskId t = 0; t < fg.task_count(); ++t) {
+    if (!active[t]) continue;
+    for (EdgeId e : fg.deps().in_edges(t)) {
+      const TaskId pred = fg.deps().edge(e).src;
+      if (!active[pred]) continue;
+      EXPECT_LE(sched.slot(pred).end, sched.slot(t).start)
+          << fg.task(pred).name << " -> " << fg.task(t).name;
+    }
+  }
+  // Mutual exclusion.
+  for (TaskId a = 0; a < fg.task_count(); ++a) {
+    if (!active[a]) continue;
+    for (TaskId b = a + 1; b < fg.task_count(); ++b) {
+      if (!active[b]) continue;
+      const Slot& sa = sched.slot(a);
+      const Slot& sb = sched.slot(b);
+      if (sa.resource != sb.resource) continue;
+      if (!fg.arch().pe(sa.resource).sequential()) continue;
+      EXPECT_FALSE(sa.start < sb.end && sb.start < sa.end)
+          << fg.task(a).name << " overlaps " << fg.task(b).name << " on "
+          << fg.arch().pe(sa.resource).name;
+    }
+  }
+}
+
+}  // namespace cps::testing
