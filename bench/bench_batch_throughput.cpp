@@ -1,0 +1,100 @@
+// S2 — batch co-synthesis throughput: graphs/second of the parallel batch
+// driver as the worker-thread count grows, on a fixed deterministic
+// workload. The scaling-substrate benchmark for the ROADMAP's
+// "thousands of scenarios" north star: per-task seeding makes the result
+// set identical at every thread count, so the sweep isolates pure
+// parallel-efficiency effects.
+//
+// `--json FILE` dumps the final batch (machine-readable) to FILE
+// ("-" = stdout).
+#include <iostream>
+#include <thread>
+
+#include "sched/batch_driver.hpp"
+#include "support/cli.hpp"
+#include "support/json.hpp"
+#include "support/table_format.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace cps;
+  CliParser cli("parallel batch co-synthesis throughput");
+  cli.add_flag("graphs", "64", "graphs per batch");
+  cli.add_flag("nodes", "60", "processes per graph");
+  cli.add_flag("paths", "10", "alternative paths per graph");
+  cli.add_flag("seed", "1", "base random seed");
+  cli.add_flag("max-threads", "0",
+               "largest worker count of the sweep (0 = hardware)");
+  cli.add_flag("ready", "heap", "engine: heap | linear");
+  cli.add_flag("json", "", "dump the last batch as JSON to FILE (- = stdout)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  BatchConfig config;
+  config.count = cli.get_count("graphs", 0);
+  config.base_seed = static_cast<std::uint64_t>(cli.get_count("seed", 0));
+  config.cpg.process_count = cli.get_count("nodes", 1);
+  config.cpg.path_count = cli.get_count("paths", 1);
+  const std::string ready = cli.get_string("ready");
+  if (ready == "linear") {
+    config.synthesis.merge.ready = ReadySelection::kLinearScan;
+  } else if (ready == "heap") {
+    config.synthesis.merge.ready = ReadySelection::kHeap;
+  } else {
+    std::cerr << "unknown --ready value: " << ready << '\n';
+    return 1;
+  }
+
+  std::size_t max_threads = cli.get_count("max-threads", 0);
+  if (max_threads == 0) {
+    max_threads = std::thread::hardware_concurrency();
+    if (max_threads == 0) max_threads = 1;
+  }
+
+  AsciiTable table("S2 — batch throughput (" + std::to_string(config.count) +
+                   " graphs, " + std::to_string(config.cpg.process_count) +
+                   " nodes, " + std::to_string(config.cpg.path_count) +
+                   " paths, " + ready + " engine)");
+  table.header({"threads", "wall ms", "graphs/s", "speedup", "efficiency %",
+                "ok"});
+
+  // Sweep powers of two, always ending exactly at max_threads.
+  std::vector<std::size_t> sweep;
+  for (std::size_t threads = 1; threads < max_threads; threads *= 2) {
+    sweep.push_back(threads);
+  }
+  sweep.push_back(max_threads);
+
+  std::string last_json;
+  double base_wall = 0.0;
+  bool failed = false;
+  for (std::size_t threads : sweep) {
+    config.threads = threads;
+    const BatchResult result = run_batch(config);
+    const BatchSummary& s = result.summary;
+    if (s.ok_count != s.count) failed = true;
+    if (threads == 1) base_wall = s.wall_ms;
+    const double speedup = s.wall_ms > 0.0 ? base_wall / s.wall_ms : 0.0;
+    table.cell(static_cast<std::int64_t>(threads))
+        .cell(s.wall_ms, 1)
+        .cell(s.graphs_per_second, 1)
+        .cell(speedup, 2)
+        .cell(100.0 * speedup / static_cast<double>(threads), 1)
+        .cell(static_cast<std::int64_t>(s.ok_count));
+    table.end_row();
+    if (!cli.get_string("json").empty()) {
+      last_json = batch_result_to_json(result);
+    }
+  }
+
+  const std::string json_path = cli.get_string("json");
+  // With --json - the JSON owns stdout; the human table moves to stderr.
+  std::ostream& human = json_path == "-" ? std::cerr : std::cout;
+  human << "=== S2: batch co-synthesis throughput ===\n\n";
+  table.render(human);
+  if (!json_path.empty()) {
+    if (!JsonWriter::write_output(json_path, last_json)) return 1;
+  }
+  return failed ? 1 : 0;
+} catch (const cps::ParseError& e) {
+  std::cerr << e.what() << '\n';
+  return 1;
+}

@@ -1,85 +1,167 @@
 // S1 — component scaling: wall-clock cost of every pipeline stage
 // (expansion, path enumeration, per-path scheduling, merging, validation)
 // as the graph grows. Complements Fig. 6 with a per-stage breakdown.
-#include <chrono>
+//
+// Built on the parallel batch driver: each size row is one batch of
+// deterministically seeded random CPGs. `--compare` additionally runs the
+// pre-heap linear-scan reference engine and reports the speedup of the
+// heap engine per size; `--json FILE` dumps the machine-readable batch
+// results (use "-" for stdout).
 #include <iostream>
 
-#include "gen/arch_gen.hpp"
-#include "gen/random_cpg.hpp"
-#include "sched/driver.hpp"
+#include "sched/batch_driver.hpp"
 #include "support/cli.hpp"
-#include "support/stats.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
 #include "support/table_format.hpp"
 
-int main(int argc, char** argv) {
-  using namespace cps;
-  using clock = std::chrono::steady_clock;
+namespace {
+
+using namespace cps;
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> sizes;
+  for (const std::string& part : split(csv, ',')) {
+    if (part.empty()) continue;
+    // Digits only: stoul would otherwise wrap "-80" to a huge value.
+    const bool digits =
+        part.find_first_not_of("0123456789") == std::string::npos;
+    unsigned long value = 0;
+    if (digits) {
+      try {
+        value = std::stoul(part);
+      } catch (const std::exception&) {
+        value = 0;
+      }
+    }
+    if (!digits || value == 0) {
+      throw ParseError("flag --sizes: \"" + part +
+                       "\" is not a positive node count");
+    }
+    sizes.push_back(value);
+  }
+  if (sizes.empty()) {
+    throw ParseError("flag --sizes: no node counts given");
+  }
+  return sizes;
+}
+
+BatchResult run_size(std::size_t nodes, std::size_t graphs,
+                     std::size_t paths, std::uint64_t seed,
+                     std::size_t threads, ReadySelection ready) {
+  BatchConfig config;
+  config.count = graphs;
+  config.base_seed = seed;
+  config.threads = threads;
+  config.cpg.process_count = nodes;
+  config.cpg.path_count = paths;
+  config.synthesis.merge.ready = ready;
+  return run_batch(config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
   CliParser cli("pipeline stage scaling");
   cli.add_flag("graphs", "6", "graphs per size");
   cli.add_flag("paths", "12", "alternative paths per graph");
   cli.add_flag("seed", "5", "base random seed");
+  cli.add_flag("sizes", "40,80,160,320", "comma-separated node counts");
+  cli.add_flag("threads", "1", "worker threads per batch (0 = hardware)");
+  cli.add_flag("json", "", "dump batch results as JSON to FILE (- = stdout)");
+  cli.add_bool("compare", "also run the linear-scan reference engine and "
+                          "report the heap speedup");
   if (!cli.parse(argc, argv)) return 0;
-  const auto graphs = static_cast<std::size_t>(cli.get_int("graphs"));
-  const auto paths = static_cast<std::size_t>(cli.get_int("paths"));
-
-  const std::size_t sizes[] = {40, 80, 160, 320};
+  const std::size_t graphs = cli.get_count("graphs", 1);
+  const std::size_t paths = cli.get_count("paths", 1);
+  const std::size_t threads = cli.get_count("threads", 0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_count("seed", 0));
+  const std::vector<std::size_t> sizes = parse_sizes(cli.get_string("sizes"));
+  const bool compare = cli.get_bool("compare");
 
   AsciiTable table("S1 — pipeline stage cost (ms, averaged over " +
                    std::to_string(graphs) + " graphs, " +
-                   std::to_string(paths) + " paths)");
-  table.header({"nodes", "expand", "enumerate", "schedule paths", "merge",
-                "validate", "tasks", "table cells"});
-
-  std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  for (std::size_t nodes : sizes) {
-    StatAccumulator expand_ms, enum_ms, sched_ms, merge_ms, val_ms;
-    StatAccumulator tasks, cells;
-    for (std::size_t i = 0; i < graphs; ++i) {
-      Rng rng(++seed);
-      const Architecture arch = generate_random_architecture(rng);
-      RandomCpgParams params;
-      params.process_count = nodes;
-      params.path_count = paths;
-      const Cpg g = generate_random_cpg(arch, params, rng);
-
-      auto t0 = clock::now();
-      const FlatGraph fg = FlatGraph::expand(g);
-      auto t1 = clock::now();
-      const auto alt = enumerate_paths(g);
-      auto t2 = clock::now();
-      std::vector<PathSchedule> schedules;
-      for (const AltPath& p : alt) schedules.push_back(schedule_path(fg, p));
-      auto t3 = clock::now();
-      const MergeResult merged = merge_schedules(fg, alt, schedules);
-      auto t4 = clock::now();
-      const TableValidation v = validate_table(fg, merged.table, alt);
-      auto t5 = clock::now();
-      if (!v.ok) {
-        std::cerr << "validation failed: " << v.violations.front() << '\n';
-        return 1;
-      }
-      auto ms = [](clock::time_point a, clock::time_point b) {
-        return std::chrono::duration<double, std::milli>(b - a).count();
-      };
-      expand_ms.add(ms(t0, t1));
-      enum_ms.add(ms(t1, t2));
-      sched_ms.add(ms(t2, t3));
-      merge_ms.add(ms(t3, t4));
-      val_ms.add(ms(t4, t5));
-      tasks.add(static_cast<double>(fg.task_count()));
-      cells.add(static_cast<double>(merged.table.entry_count()));
-    }
-    table.cell(static_cast<std::int64_t>(nodes))
-        .cell(expand_ms.mean(), 3)
-        .cell(enum_ms.mean(), 3)
-        .cell(sched_ms.mean(), 3)
-        .cell(merge_ms.mean(), 3)
-        .cell(val_ms.mean(), 3)
-        .cell(tasks.mean(), 0)
-        .cell(cells.mean(), 0);
-    table.end_row();
+                   std::to_string(paths) + " paths, heap engine)");
+  std::vector<std::string> cols = {"nodes", "expand", "enumerate",
+                                   "schedule paths", "merge", "validate",
+                                   "tasks", "table cells"};
+  if (compare) {
+    cols.push_back("linear sched");
+    cols.push_back("linear merge");
+    cols.push_back("speedup");
   }
-  std::cout << "=== S1: pipeline scaling ===\n\n";
-  table.render(std::cout);
-  return 0;
+  table.header(cols);
+
+  std::vector<std::string> json_batches;
+  bool failed = false;
+  const auto note_failures = [&failed](const BatchResult& result,
+                                       const char* engine) {
+    if (result.summary.ok_count == result.summary.count) return;
+    for (const BatchItem& item : result.items) {
+      if (!item.ok) {
+        std::cerr << engine << " graph seed " << item.seed
+                  << " failed: " << item.error << '\n';
+      }
+    }
+    failed = true;
+  };
+  for (std::size_t nodes : sizes) {
+    const BatchResult heap = run_size(nodes, graphs, paths, seed, threads,
+                                      ReadySelection::kHeap);
+    const BatchSummary& s = heap.summary;
+    note_failures(heap, "heap");
+    table.cell(static_cast<std::int64_t>(nodes))
+        .cell(s.expand_ms.mean(), 3)
+        .cell(s.enumerate_ms.mean(), 3)
+        .cell(s.schedule_ms.mean(), 3)
+        .cell(s.merge_ms.mean(), 3)
+        .cell(s.validate_ms.mean(), 3)
+        .cell(s.tasks.mean(), 0)
+        .cell(s.table_entries.mean(), 0);
+    if (compare) {
+      const BatchResult linear = run_size(nodes, graphs, paths, seed,
+                                          threads,
+                                          ReadySelection::kLinearScan);
+      note_failures(linear, "linear-scan");
+      const double heap_core =
+          s.schedule_ms.mean() + s.merge_ms.mean();
+      const double linear_core = linear.summary.schedule_ms.mean() +
+                                 linear.summary.merge_ms.mean();
+      table.cell(linear.summary.schedule_ms.mean(), 3)
+          .cell(linear.summary.merge_ms.mean(), 3)
+          .cell(heap_core > 0.0 ? linear_core / heap_core : 0.0, 2);
+      if (!cli.get_string("json").empty()) {
+        // The dump carries both engines; config.ready_selection tells
+        // them apart.
+        json_batches.push_back(batch_result_to_json(linear));
+      }
+    }
+    table.end_row();
+    if (!cli.get_string("json").empty()) {
+      json_batches.push_back(batch_result_to_json(heap));
+    }
+  }
+
+  const std::string json_path = cli.get_string("json");
+  // With --json - the JSON owns stdout; the human table moves to stderr.
+  std::ostream& human = json_path == "-" ? std::cerr : std::cout;
+  human << "=== S1: pipeline scaling ===\n\n";
+  table.render(human);
+  if (!json_path.empty()) {
+    // One JSON array with one batch object per size (each
+    // batch_result_to_json string is a complete object).
+    std::string json_out = "[\n";
+    for (std::size_t i = 0; i < json_batches.size(); ++i) {
+      std::string batch = json_batches[i];
+      while (!batch.empty() && batch.back() == '\n') batch.pop_back();
+      json_out += batch;
+      json_out += (i + 1 < json_batches.size()) ? ",\n" : "\n";
+    }
+    json_out += "]\n";
+    if (!JsonWriter::write_output(json_path, json_out)) return 1;
+  }
+  return failed ? 1 : 0;
+} catch (const cps::ParseError& e) {
+  std::cerr << e.what() << '\n';
+  return 1;
 }

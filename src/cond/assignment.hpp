@@ -42,7 +42,15 @@ class Assignment {
   /// Render as bit string, index 0 first, e.g. "101".
   std::string to_string() const;
 
-  friend auto operator<=>(const Assignment&, const Assignment&) = default;
+  friend bool operator==(const Assignment& a, const Assignment& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Assignment& a, const Assignment& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Assignment& a, const Assignment& b) {
+    return a.values_ < b.values_;
+  }
 
  private:
   std::vector<bool> values_;

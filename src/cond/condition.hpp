@@ -6,9 +6,9 @@
 // processes and head schedule-table columns.
 #pragma once
 
-#include <compare>
 #include <cstdint>
 #include <functional>
+#include <tuple>
 
 namespace cps {
 
@@ -22,7 +22,15 @@ struct Literal {
 
   Literal negated() const { return Literal{cond, !value}; }
 
-  friend auto operator<=>(const Literal&, const Literal&) = default;
+  friend bool operator==(const Literal& a, const Literal& b) {
+    return a.cond == b.cond && a.value == b.value;
+  }
+  friend bool operator!=(const Literal& a, const Literal& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Literal& a, const Literal& b) {
+    return std::tie(a.cond, a.value) < std::tie(b.cond, b.value);
+  }
 };
 
 }  // namespace cps

@@ -1,0 +1,48 @@
+#include "cond/cover_cache.hpp"
+
+namespace cps {
+
+std::size_t CoverCache::KeyHash::operator()(const Key& k) const {
+  // FNV-1a over the pointer and the context literals.
+  std::size_t h = 1469598103934665603ull;
+  auto mix = [&h](std::size_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(reinterpret_cast<std::size_t>(k.dnf));
+  for (const Literal& l : k.context.literals()) {
+    mix((static_cast<std::size_t>(l.cond) << 1) | (l.value ? 1u : 0u));
+  }
+  return h;
+}
+
+bool CoverCache::covered(const Dnf& dnf, const Cube& context) {
+  const auto [it, inserted] = covered_.try_emplace(Key{&dnf, context}, false);
+  if (inserted) {
+    ++misses_;
+    it->second = dnf.covered_by_context(context);
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+bool CoverCache::disjoint(const Dnf& dnf, const Cube& context) {
+  const auto [it, inserted] = disjoint_.try_emplace(Key{&dnf, context}, false);
+  if (inserted) {
+    ++misses_;
+    it->second = dnf.and_cube(context).is_false();
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+void CoverCache::clear() {
+  covered_.clear();
+  disjoint_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace cps

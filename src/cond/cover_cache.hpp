@@ -1,0 +1,57 @@
+// CoverCache: memoization of DNF/cube intersection queries.
+//
+// The list scheduler asks `guard.covered_by_context(known)` for every
+// ready-task candidate at every scheduling step, and the table merge
+// re-asks the same questions for every adjusted path. The set of distinct
+// (guard, context) pairs per co-synthesis is tiny compared to the number
+// of queries, so a hash map keyed by the guard's identity and the context
+// cube turns the repeated Shannon expansions into O(1) lookups.
+//
+// Keys use the *address* of the Dnf: guards live inside FlatGraph's task
+// vector and are stable for the graph's lifetime. The cache must not
+// outlive the FlatGraph it memoizes and is not thread-safe; use one cache
+// per engine/merge invocation (the batch driver gives each worker its own
+// graphs, so caches are never shared across threads).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "cond/dnf.hpp"
+
+namespace cps {
+
+class CoverCache {
+ public:
+  /// Memoized `dnf.covered_by_context(context)`.
+  bool covered(const Dnf& dnf, const Cube& context);
+
+  /// Memoized `dnf.and_cube(context).is_false()` (disjointness test).
+  bool disjoint(const Dnf& dnf, const Cube& context);
+
+  std::size_t size() const { return covered_.size() + disjoint_.size(); }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  void clear();
+
+ private:
+  struct Key {
+    const Dnf* dnf = nullptr;
+    Cube context;
+
+    bool operator==(const Key& other) const {
+      return dnf == other.dnf && context == other.context;
+    }
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  std::unordered_map<Key, bool, KeyHash> covered_;
+  std::unordered_map<Key, bool, KeyHash> disjoint_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace cps

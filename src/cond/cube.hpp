@@ -8,7 +8,6 @@
 // twice; a cube is therefore always satisfiable.
 #pragma once
 
-#include <compare>
 #include <functional>
 #include <optional>
 #include <string>
@@ -69,7 +68,13 @@ class Cube {
   /// Render with bare numeric ids ("c0 & !c3").
   std::string to_string() const;
 
-  friend auto operator<=>(const Cube&, const Cube&) = default;
+  friend bool operator==(const Cube& a, const Cube& b) {
+    return a.lits_ == b.lits_;
+  }
+  friend bool operator!=(const Cube& a, const Cube& b) { return !(a == b); }
+  friend bool operator<(const Cube& a, const Cube& b) {
+    return a.lits_ < b.lits_;
+  }
 
  private:
   std::vector<Literal> lits_;  // sorted by cond id, unique conditions

@@ -74,7 +74,10 @@ class Dnf {
       const std::function<std::string(CondId)>& name) const;
   std::string to_string() const;
 
-  friend bool operator==(const Dnf&, const Dnf&) = default;
+  friend bool operator==(const Dnf& a, const Dnf& b) {
+    return a.cubes_ == b.cubes_;
+  }
+  friend bool operator!=(const Dnf& a, const Dnf& b) { return !(a == b); }
 
  private:
   void normalize();

@@ -119,7 +119,34 @@ FlatGraph FlatGraph::expand(const Cpg& g) {
     }
   }
 
+  fg.compute_guard_info();
+
   return fg;
+}
+
+void FlatGraph::compute_guard_info() {
+  masks_enabled_ = cpg_->conditions().size() <= 64;
+  guard_info_.resize(tasks_.size());
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    const Task& task = tasks_[t];
+    TaskGuardInfo& info = guard_info_[t];
+    info.trivially_true = task.guard.is_true();
+    info.conjunction = task.origin_process.has_value() &&
+                       cpg_->process(*task.origin_process).conjunction;
+    if (masks_enabled_) {
+      for (const Cube& cube : task.guard.cubes()) {
+        const GuardCubeMask mask = GuardCubeMask::of_cube(cube);
+        info.mention |= mask.mention();
+        info.cubes.push_back(mask);
+      }
+    }
+    if (info.conjunction) {
+      for (EdgeId e : deps_.in_edges(t)) {
+        const TaskId pred = deps_.edge(e).src;
+        if (!tasks_[pred].guard.is_true()) info.guarded_preds.push_back(pred);
+      }
+    }
+  }
 }
 
 const Task& FlatGraph::task(TaskId t) const {
@@ -142,10 +169,39 @@ TaskId FlatGraph::disjunction_task(CondId c) const {
   return task_of_process(cpg_->disjunction_of(c));
 }
 
-std::vector<bool> FlatGraph::active_tasks(const Cube& label) const {
+const TaskGuardInfo& FlatGraph::guard_info(TaskId t) const {
+  CPS_REQUIRE(t < guard_info_.size(), "task id out of range");
+  return guard_info_[t];
+}
+
+std::vector<bool> FlatGraph::active_tasks(const Cube& label,
+                                          CoverCache* cache) const {
+  const GuardCubeMask ctx =
+      masks_enabled_ ? GuardCubeMask::of_cube(label) : GuardCubeMask{};
   std::vector<bool> active(tasks_.size(), false);
   for (const Task& t : tasks_) {
-    active[t.id] = t.guard.covered_by_context(label);
+    const TaskGuardInfo& info = guard_info_[t.id];
+    if (info.trivially_true) {
+      active[t.id] = true;
+      continue;
+    }
+    // Fast path: a cube all of whose literals the label satisfies makes
+    // the guard covered; for single-cube guards this is exact.
+    if (masks_enabled_) {
+      bool covered = false;
+      for (const GuardCubeMask& cube : info.cubes) {
+        if (cube.covered_by(ctx.pos, ctx.neg)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered || info.cubes.size() <= 1) {
+        active[t.id] = covered;
+        continue;
+      }
+    }
+    active[t.id] = cache ? cache->covered(t.guard, label)
+                         : t.guard.covered_by_context(label);
   }
   return active;
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "cond/cover_cache.hpp"
 #include "cpg/cpg.hpp"
 #include "cpg/paths.hpp"
 #include "graph/digraph.hpp"
@@ -54,6 +55,54 @@ struct Task {
   bool is_broadcast() const { return kind == TaskKind::kBroadcast; }
 };
 
+/// Bitmask view of one cube of a guard (valid when every condition id the
+/// model uses is < 64, which holds for all paper-scale workloads).
+struct GuardCubeMask {
+  std::uint64_t pos = 0;  ///< conditions required true
+  std::uint64_t neg = 0;  ///< conditions required false
+
+  /// Bitmask encoding of an explicit cube (condition ids must be < 64).
+  static GuardCubeMask of_cube(const Cube& cube) {
+    GuardCubeMask mask;
+    for (const Literal& l : cube.literals()) {
+      (l.value ? mask.pos : mask.neg) |= std::uint64_t{1} << l.cond;
+    }
+    return mask;
+  }
+
+  std::uint64_t mention() const { return pos | neg; }
+
+  /// Every literal of this cube holds under the known values: the cube is
+  /// satisfied, so it covers the whole guard.
+  bool covered_by(std::uint64_t known_pos, std::uint64_t known_neg) const {
+    return (pos & ~known_pos) == 0 && (neg & ~known_neg) == 0;
+  }
+
+  /// Some literal of this cube contradicts a known value: conjoining the
+  /// cube with the known context is unsatisfiable.
+  bool conflicts(std::uint64_t known_pos, std::uint64_t known_neg) const {
+    return (pos & known_neg) != 0 || (neg & known_pos) != 0;
+  }
+};
+
+/// Precomputed per-task activation info: lets the scheduler decide guard
+/// coverage with bit operations instead of re-running DNF Shannon
+/// expansions at every scheduling step.
+struct TaskGuardInfo {
+  /// Guard is syntactically true (no knowledge needed unless conjunction).
+  bool trivially_true = false;
+  /// Originating process is a conjunction node (or the sink): starting it
+  /// additionally requires the known conditions to *decide* the activity
+  /// of every predecessor (paper §5.2, premise of Theorem 1).
+  bool conjunction = false;
+  /// Conditions mentioned by the guard (bitmask over CondId).
+  std::uint64_t mention = 0;
+  /// One mask per cube of the guard DNF.
+  std::vector<GuardCubeMask> cubes;
+  /// Predecessor tasks with non-trivial guards (conjunction check only).
+  std::vector<TaskId> guarded_preds;
+};
+
 class FlatGraph {
  public:
   /// Expand a CPG. The Cpg must outlive the FlatGraph.
@@ -82,8 +131,16 @@ class FlatGraph {
   TaskId sink_task() const { return task_of_process(cpg_->sink()); }
 
   /// Tasks active on the path identified by `label` (a complete path
-  /// label; every task guard is decided under it).
-  std::vector<bool> active_tasks(const Cube& label) const;
+  /// label; every task guard is decided under it). An optional CoverCache
+  /// memoizes the multi-cube guard checks across repeated calls.
+  std::vector<bool> active_tasks(const Cube& label,
+                                 CoverCache* cache = nullptr) const;
+
+  /// True when guard masks are available (condition count <= 64).
+  bool masks_enabled() const { return masks_enabled_; }
+
+  /// Precomputed activation info for `t` (valid ids only).
+  const TaskGuardInfo& guard_info(TaskId t) const;
 
   /// Resources that host at least one task (sorted).
   const std::vector<PeId>& used_resources() const { return used_resources_; }
@@ -93,6 +150,8 @@ class FlatGraph {
   const std::vector<PeId>& broadcast_buses() const { return bcast_buses_; }
 
  private:
+  void compute_guard_info();
+
   const Cpg* cpg_ = nullptr;
   std::vector<Task> tasks_;
   Digraph deps_;
@@ -100,6 +159,8 @@ class FlatGraph {
   std::vector<TaskId> bcast_tasks_;       // by CondId (empty if disabled)
   std::vector<PeId> used_resources_;
   std::vector<PeId> bcast_buses_;
+  std::vector<TaskGuardInfo> guard_info_;  // by TaskId
+  bool masks_enabled_ = false;
 };
 
 }  // namespace cps

@@ -1,0 +1,230 @@
+#include "sched/batch_driver.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace cps {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_between(clock_type::time_point a, clock_type::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+void add_item_stats(BatchSummary& s, const BatchItem& item) {
+  ++s.count;
+  if (!item.ok) return;
+  ++s.ok_count;
+  s.delta_m.add(static_cast<double>(item.delta_m));
+  s.delta_max.add(static_cast<double>(item.delta_max));
+  s.increase_percent.add(item.increase_percent);
+  s.tasks.add(static_cast<double>(item.tasks));
+  s.paths.add(static_cast<double>(item.paths));
+  s.table_entries.add(static_cast<double>(item.table_entries));
+  s.expand_ms.add(item.expand_ms);
+  s.enumerate_ms.add(item.enumerate_ms);
+  s.schedule_ms.add(item.schedule_ms);
+  s.merge_ms.add(item.merge_ms);
+  s.validate_ms.add(item.validate_ms);
+  s.total_ms.add(item.total_ms);
+}
+
+void write_stat(JsonWriter& w, const std::string& name,
+                const StatAccumulator& acc) {
+  w.key(name).begin_object();
+  w.field("count", acc.count());
+  if (!acc.empty()) {
+    w.field("mean", acc.mean());
+    w.field("stddev", acc.stddev());
+    w.field("min", acc.min());
+    w.field("max", acc.max());
+    w.field("median", acc.median());
+  }
+  w.end_object();
+}
+
+void write_item(JsonWriter& w, const BatchItem& item,
+                const BatchJsonOptions& options) {
+  w.begin_object();
+  w.field("index", item.index);
+  w.field("seed", item.seed);
+  w.field("ok", item.ok);
+  if (!item.ok) {
+    w.field("error", item.error);
+    w.end_object();
+    return;
+  }
+  w.field("processes", item.processes);
+  w.field("tasks", item.tasks);
+  w.field("conditions", item.conditions);
+  w.field("paths", item.paths);
+  w.field("table_entries", item.table_entries);
+  w.field("delta_m", static_cast<std::int64_t>(item.delta_m));
+  w.field("delta_max", static_cast<std::int64_t>(item.delta_max));
+  w.field("increase_percent", item.increase_percent);
+  w.key("merge").begin_object();
+  w.field("backsteps", item.merge.backsteps);
+  w.field("adjustments", item.merge.adjustments);
+  w.field("locks", item.merge.locks);
+  w.field("conflicts", item.merge.conflicts);
+  w.field("conflict_moves", item.merge.conflict_moves);
+  w.field("unresolved_conflicts", item.merge.unresolved_conflicts);
+  w.field("relaxed_locks", item.merge.relaxed_locks);
+  w.field("column_clashes", item.merge.column_clashes);
+  w.end_object();
+  if (options.include_timing) {
+    w.key("timing_ms").begin_object();
+    w.field("expand", item.expand_ms);
+    w.field("enumerate", item.enumerate_ms);
+    w.field("schedule", item.schedule_ms);
+    w.field("merge", item.merge_ms);
+    w.field("validate", item.validate_ms);
+    w.field("total", item.total_ms);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+BatchItem run_batch_item(const BatchConfig& config, std::size_t index) {
+  BatchItem item;
+  item.index = index;
+  item.seed = config.base_seed + index;
+  const auto t_begin = clock_type::now();
+  try {
+    Rng rng(item.seed);
+    const Architecture arch = generate_random_architecture(rng, config.arch);
+    const Cpg g = generate_random_cpg(arch, config.cpg, rng);
+
+    const CoSynthesisResult result = schedule_cpg(g, config.synthesis);
+
+    item.ok = true;
+    item.processes = g.process_count();
+    item.tasks = result.flat->task_count();
+    item.conditions = g.conditions().size();
+    item.paths = result.paths.size();
+    item.table_entries = result.table.entry_count();
+    item.delta_m = result.delays.delta_m;
+    item.delta_max = result.delays.delta_max;
+    item.increase_percent = result.delays.increase_percent;
+    item.merge = result.merge_stats;
+    item.expand_ms = result.timings.expand_ms;
+    item.enumerate_ms = result.timings.enumerate_ms;
+    item.schedule_ms = result.timings.schedule_ms;
+    item.merge_ms = result.timings.merge_ms;
+    item.validate_ms = result.timings.validate_ms;
+  } catch (const std::exception& e) {
+    item.ok = false;
+    item.error = e.what();
+  }
+  item.total_ms = ms_between(t_begin, clock_type::now());
+  return item;
+}
+
+BatchResult run_batch(const BatchConfig& config) {
+  BatchResult result;
+  result.config = config;
+  result.items.resize(config.count);
+
+  std::size_t threads = config.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads = std::min(threads, std::max<std::size_t>(config.count, 1));
+
+  const auto t_begin = clock_type::now();
+  if (config.count > 0) {
+    // Work stealing over an atomic counter: item i is a pure function of
+    // base_seed + i, so assignment order cannot influence the results.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= config.count) break;
+        result.items[i] = run_batch_item(config, i);
+      }
+    };
+    if (threads <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+    }
+  }
+  result.summary.wall_ms = ms_between(t_begin, clock_type::now());
+
+  for (const BatchItem& item : result.items) {
+    add_item_stats(result.summary, item);
+  }
+  if (result.summary.wall_ms > 0.0) {
+    result.summary.graphs_per_second =
+        1000.0 * static_cast<double>(result.summary.ok_count) /
+        result.summary.wall_ms;
+  }
+  return result;
+}
+
+std::string batch_result_to_json(const BatchResult& result,
+                                 const BatchJsonOptions& options) {
+  const BatchSummary& s = result.summary;
+  JsonWriter w(options.indent);
+  w.begin_object();
+
+  w.key("config").begin_object();
+  w.field("count", result.config.count);
+  w.field("base_seed", result.config.base_seed);
+  w.field("processes", result.config.cpg.process_count);
+  w.field("paths", result.config.cpg.path_count);
+  w.field("distribution", to_string(result.config.cpg.distribution));
+  w.field("ready_selection", to_string(result.config.synthesis.merge.ready));
+  w.field("path_selection",
+          to_string(result.config.synthesis.merge.selection));
+  w.field("validate", result.config.synthesis.validate);
+  w.end_object();
+
+  w.key("summary").begin_object();
+  w.field("count", s.count);
+  w.field("ok", s.ok_count);
+  write_stat(w, "delta_m", s.delta_m);
+  write_stat(w, "delta_max", s.delta_max);
+  write_stat(w, "increase_percent", s.increase_percent);
+  write_stat(w, "tasks", s.tasks);
+  write_stat(w, "paths", s.paths);
+  write_stat(w, "table_entries", s.table_entries);
+  if (options.include_timing) {
+    w.field("wall_ms", s.wall_ms);
+    w.field("graphs_per_second", s.graphs_per_second);
+    w.key("stage_ms").begin_object();
+    write_stat(w, "expand", s.expand_ms);
+    write_stat(w, "enumerate", s.enumerate_ms);
+    write_stat(w, "schedule", s.schedule_ms);
+    write_stat(w, "merge", s.merge_ms);
+    write_stat(w, "validate", s.validate_ms);
+    write_stat(w, "total", s.total_ms);
+    w.end_object();
+  }
+  w.end_object();
+
+  if (options.include_items) {
+    w.key("items").begin_array();
+    for (const BatchItem& item : result.items) {
+      write_item(w, item, options);
+    }
+    w.end_array();
+  }
+
+  w.end_object();
+  return w.str() + "\n";
+}
+
+}  // namespace cps

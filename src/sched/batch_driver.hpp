@@ -1,0 +1,110 @@
+// Parallel batch experiment driver.
+//
+// The paper's experiments (§6) co-synthesize ~1080 random CPGs; the
+// ROADMAP's north star is "thousands of scenarios, as fast as the hardware
+// allows". This driver is the scaling substrate: a thread pool
+// co-synthesizes N random CPGs in parallel, each graph derived from a
+// deterministic per-task seed (base_seed + index), so results are
+// byte-identical regardless of thread count or completion order. Per-graph
+// pipeline-stage timings and delay/merge statistics are aggregated via
+// support/stats and exported as machine-readable JSON (support/json) for
+// the benchmark harness and external tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/arch_gen.hpp"
+#include "gen/random_cpg.hpp"
+#include "sched/driver.hpp"
+#include "support/stats.hpp"
+
+namespace cps {
+
+struct BatchConfig {
+  /// Number of random CPGs to co-synthesize.
+  std::size_t count = 16;
+  /// Graph i uses Rng(base_seed + i) for architecture + CPG generation.
+  std::uint64_t base_seed = 1;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  RandomArchParams arch;
+  RandomCpgParams cpg;
+  CoSynthesisOptions synthesis;
+};
+
+/// Outcome of one co-synthesized graph. All non-timing fields are a pure
+/// function of the item seed (and config), never of thread scheduling.
+struct BatchItem {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string error;  ///< non-empty iff !ok
+
+  std::size_t processes = 0;
+  std::size_t tasks = 0;
+  std::size_t conditions = 0;
+  std::size_t paths = 0;
+  std::size_t table_entries = 0;
+  Time delta_m = 0;
+  Time delta_max = 0;
+  double increase_percent = 0.0;
+  MergeStats merge;
+
+  // Wall-clock per pipeline stage (milliseconds).
+  double expand_ms = 0.0;
+  double enumerate_ms = 0.0;
+  double schedule_ms = 0.0;
+  double merge_ms = 0.0;
+  double validate_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+struct BatchSummary {
+  std::size_t count = 0;
+  std::size_t ok_count = 0;
+  /// Whole-batch wall clock (ms) and resulting throughput.
+  double wall_ms = 0.0;
+  double graphs_per_second = 0.0;
+
+  StatAccumulator delta_m;
+  StatAccumulator delta_max;
+  StatAccumulator increase_percent;
+  StatAccumulator tasks;
+  StatAccumulator paths;
+  StatAccumulator table_entries;
+  StatAccumulator expand_ms;
+  StatAccumulator enumerate_ms;
+  StatAccumulator schedule_ms;
+  StatAccumulator merge_ms;
+  StatAccumulator validate_ms;
+  StatAccumulator total_ms;
+};
+
+struct BatchResult {
+  BatchConfig config;
+  std::vector<BatchItem> items;  ///< ordered by index
+  BatchSummary summary;
+};
+
+/// Run one item of the batch (exposed for tests and custom harnesses).
+BatchItem run_batch_item(const BatchConfig& config, std::size_t index);
+
+/// Run the whole batch on the configured thread pool. Per-item failures
+/// (generation or validation errors) are captured in the item, not thrown.
+BatchResult run_batch(const BatchConfig& config);
+
+struct BatchJsonOptions {
+  /// Include wall-clock fields. Disable for byte-identical output across
+  /// runs and thread counts (determinism tests, golden files).
+  bool include_timing = true;
+  /// Include the per-item array, not just config + summary.
+  bool include_items = true;
+  /// Spaces per indentation level (0 = compact).
+  int indent = 2;
+};
+
+std::string batch_result_to_json(const BatchResult& result,
+                                 const BatchJsonOptions& options = {});
+
+}  // namespace cps

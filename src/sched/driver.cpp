@@ -1,24 +1,43 @@
 #include "sched/driver.hpp"
 
+#include <chrono>
+
 #include "support/strings.hpp"
 
 namespace cps {
 
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_between(clock_type::time_point a, clock_type::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
 CoSynthesisResult schedule_cpg(const Cpg& g,
                                const CoSynthesisOptions& options) {
+  const auto t0 = clock_type::now();
   auto flat = std::make_unique<FlatGraph>(FlatGraph::expand(g));
+  const auto t1 = clock_type::now();
   std::vector<AltPath> paths = enumerate_paths(g);
+  const auto t2 = clock_type::now();
 
   Rng rng(options.merge.random_seed);
+  CoverCache cover_cache;
   std::vector<PathSchedule> schedules;
   schedules.reserve(paths.size());
   for (const AltPath& path : paths) {
-    schedules.push_back(
-        schedule_path(*flat, path, options.path_priority, &rng));
+    schedules.push_back(schedule_path(*flat, path, options.path_priority,
+                                      &rng, options.merge.ready,
+                                      &cover_cache));
   }
+  const auto t3 = clock_type::now();
 
   MergeResult merged =
       merge_schedules(*flat, paths, schedules, options.merge);
+  const auto t4 = clock_type::now();
 
   if (options.validate) {
     const TableValidation validation =
@@ -28,15 +47,24 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
                             join(validation.violations, "\n  "));
     }
   }
+  const auto t5 = clock_type::now();
 
   DelayReport delays = delay_report(*flat, paths, schedules, merged.table);
+
+  StageTimings timings;
+  timings.expand_ms = ms_between(t0, t1);
+  timings.enumerate_ms = ms_between(t1, t2);
+  timings.schedule_ms = ms_between(t2, t3);
+  timings.merge_ms = ms_between(t3, t4);
+  timings.validate_ms = ms_between(t4, t5);
 
   return CoSynthesisResult{std::move(flat),
                            std::move(paths),
                            std::move(schedules),
                            std::move(merged.table),
                            merged.stats,
-                           std::move(delays)};
+                           std::move(delays),
+                           timings};
 }
 
 }  // namespace cps

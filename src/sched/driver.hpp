@@ -13,11 +13,23 @@ namespace cps {
 
 struct CoSynthesisOptions {
   PriorityPolicy path_priority = PriorityPolicy::kCriticalPath;
+  /// merge.ready selects the engine for the *whole* flow: both per-path
+  /// scheduling and the merge adjustments use it, so one knob switches
+  /// between the heap engine and the linear-scan reference.
   MergeOptions merge;
   /// Validate the table (requirements 1-4) after merging; on violation a
   /// ValidationError is thrown. Turn off only in benchmarks that measure
   /// merge time in isolation.
   bool validate = true;
+};
+
+/// Wall-clock cost of each pipeline stage (milliseconds).
+struct StageTimings {
+  double expand_ms = 0.0;
+  double enumerate_ms = 0.0;
+  double schedule_ms = 0.0;
+  double merge_ms = 0.0;
+  double validate_ms = 0.0;
 };
 
 /// Everything the flow produces. The FlatGraph is heap-allocated so the
@@ -29,6 +41,7 @@ struct CoSynthesisResult {
   ScheduleTable table;
   MergeStats merge_stats;
   DelayReport delays;
+  StageTimings timings;
 
   const FlatGraph& flat_graph() const { return *flat; }
 };

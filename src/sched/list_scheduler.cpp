@@ -2,23 +2,53 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 
 #include "support/error.hpp"
 
 namespace cps {
 
+const char* to_string(ReadySelection s) {
+  switch (s) {
+    case ReadySelection::kHeap: return "heap";
+    case ReadySelection::kLinearScan: return "linear-scan";
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr Time kInf = std::numeric_limits<Time>::max();
 
+/// Max-heap entry of the per-resource ready list: highest priority first,
+/// lowest task id on ties (matching the reference linear scan exactly).
+struct ReadyEntry {
+  std::int64_t prio = 0;
+  TaskId id = 0;
+};
+
+struct ReadyCompare {
+  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+    return a.prio < b.prio || (a.prio == b.prio && a.id > b.id);
+  }
+};
+
+using ReadyHeap =
+    std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyCompare>;
+
 class Engine {
  public:
   Engine(const FlatGraph& fg, EngineRequest req)
-      : fg_(fg), req_(std::move(req)) {}
+      : fg_(fg), req_(std::move(req)) {
+    cache_ = req_.cover_cache ? req_.cover_cache : &local_cache_;
+  }
 
   EngineResult run();
 
  private:
+  bool heap_mode() const {
+    return req_.selection == ReadySelection::kHeap;
+  }
   bool active(TaskId t) const { return req_.active[t]; }
   bool locked(TaskId t) const {
     return !req_.locks.empty() && req_.locks[t].has_value();
@@ -29,19 +59,45 @@ class Engine {
     return pending_[t] == 0 && dep_ready_[t] <= now;
   }
 
+  // ---- reference engine (pre-heap): full scans, direct DNF evaluation.
+
   /// Condition-knowledge check for starting task t at `now` on `res`.
-  bool knowledge_ok(TaskId t, Time now, PeId res) const;
+  bool knowledge_ok_reference(TaskId t, Time now, PeId res) const;
 
   /// Does [now, now+dur) avoid every unstarted lock reservation on `res`?
-  bool fits(PeId res, Time now, Time dur) const;
+  bool fits_reference(PeId res, Time now, Time dur) const;
 
+  bool try_starts_reference(Time now);
+
+  // ---- heap engine: lazy ready heaps, guard masks, memoized covers.
+
+  bool knowledge_ok_fast(TaskId t, PeId res) const;
+  bool guard_covered(const Dnf& guard, const TaskGuardInfo& info,
+                     PeId res) const;
+  bool guard_disjoint(const Dnf& guard, const TaskGuardInfo& info,
+                      PeId res) const;
+  /// Conditions known on `res` (restricted to `mention` in masks mode) as
+  /// a context cube for the exact fallback checks.
+  Cube known_context(PeId res, std::uint64_t mention) const;
+  Cube known_context_full(PeId res) const;
+
+  bool fits_fast(PeId res, Time now, Time dur) const;
+  void enqueue_ready(TaskId t);
+  bool try_starts_heap(Time now);
+
+  // ---- shared machinery.
+
+  bool try_starts(Time now) {
+    return heap_mode() ? try_starts_heap(now) : try_starts_reference(now);
+  }
   void start_task(TaskId t, Time now, PeId res);
   void complete_task(TaskId t, Time now);
-  bool try_starts(Time now);
   EngineResult infeasible(TaskId t, const std::string& reason);
 
   const FlatGraph& fg_;
   EngineRequest req_;
+  CoverCache local_cache_;
+  CoverCache* cache_ = nullptr;
 
   PathSchedule sched_;
   std::vector<std::size_t> pending_;    // unfinished active preds
@@ -56,9 +112,25 @@ class Engine {
   // not yet known).
   std::vector<std::vector<Time>> known_;
   std::size_t remaining_ = 0;
+
+  // Heap-mode state. Knowledge doubles as per-resource bitmasks over the
+  // path label so guard coverage is a couple of AND/CMP instructions.
+  bool use_masks_ = false;
+  std::vector<std::uint64_t> known_pos_;  // by PeId
+  std::vector<std::uint64_t> known_neg_;  // by PeId
+  std::vector<ReadyHeap> ready_;          // by PeId (sequential only)
+  std::vector<TaskId> hw_ready_;          // dep-ready hardware tasks
+  std::vector<TaskId> bcast_pending_;     // unstarted broadcast tasks
+  std::vector<TaskId> locked_tasks_;      // active locked tasks
+  std::vector<std::vector<TaskId>> locks_on_res_;  // by PeId
 };
 
-bool Engine::knowledge_ok(TaskId t, Time now, PeId res) const {
+// --------------------------------------------------------------------------
+// Reference engine (kLinearScan). This is the seed implementation, kept
+// verbatim: the equivalence tests prove the heap engine reproduces its
+// schedules, and the benchmarks quote speedups against it.
+
+bool Engine::knowledge_ok_reference(TaskId t, Time now, PeId res) const {
   if (!req_.enforce_knowledge) return true;
   const Task& task = fg_.task(t);
   const bool conjunction =
@@ -98,7 +170,7 @@ bool Engine::knowledge_ok(TaskId t, Time now, PeId res) const {
   return true;
 }
 
-bool Engine::fits(PeId res, Time now, Time dur) const {
+bool Engine::fits_reference(PeId res, Time now, Time dur) const {
   if (req_.locks.empty()) return true;
   if (!fg_.arch().pe(res).sequential()) return true;
   for (TaskId t = 0; t < fg_.task_count(); ++t) {
@@ -116,50 +188,7 @@ bool Engine::fits(PeId res, Time now, Time dur) const {
   return true;
 }
 
-void Engine::start_task(TaskId t, Time now, PeId res) {
-  const Time dur = fg_.task(t).duration;
-  started_[t] = true;
-  sched_.place(t, now, now + dur, res);
-  if (dur == 0) {
-    complete_task(t, now);
-    return;
-  }
-  if (fg_.arch().pe(res).sequential()) {
-    busy_until_[res] = now + dur;
-  }
-  running_.push_back(t);
-}
-
-void Engine::complete_task(TaskId t, Time now) {
-  finished_[t] = true;
-  CPS_ASSERT(remaining_ > 0, "completion bookkeeping underflow");
-  --remaining_;
-  const Task& task = fg_.task(t);
-  for (EdgeId e : fg_.deps().out_edges(t)) {
-    const TaskId succ = fg_.deps().edge(e).dst;
-    if (!active(succ)) continue;
-    CPS_ASSERT(pending_[succ] > 0, "predecessor bookkeeping underflow");
-    --pending_[succ];
-    dep_ready_[succ] = std::max(dep_ready_[succ], now);
-  }
-  // Knowledge updates.
-  if (task.computes) {
-    const CondId c = *task.computes;
-    const PeId res = sched_.slot(t).resource;
-    known_[res][c] = std::min(known_[res][c], now);
-    if (!fg_.broadcasts_enabled()) {
-      // Single-resource models: the value is immediately visible (there is
-      // nobody else to inform).
-      for (auto& per_res : known_) per_res[c] = std::min(per_res[c], now);
-    }
-  }
-  if (task.broadcasts) {
-    const CondId c = *task.broadcasts;
-    for (auto& per_res : known_) per_res[c] = std::min(per_res[c], now);
-  }
-}
-
-bool Engine::try_starts(Time now) {
+bool Engine::try_starts_reference(Time now) {
   bool any = false;
 
   // 1. Locked tasks reaching their fixed start time. A lock that cannot
@@ -171,7 +200,7 @@ bool Engine::try_starts(Time now) {
     // Feasibility is re-checked in run() via pending_failure_; here we
     // only start locks whose prerequisites hold.
     if (!deps_done(t, now)) continue;
-    if (!knowledge_ok(t, now, lock(t).resource)) continue;
+    if (!knowledge_ok_reference(t, now, lock(t).resource)) continue;
     const PeId res = lock(t).resource;
     if (fg_.arch().pe(res).sequential() && busy_until_[res] > now) continue;
     start_task(t, now, res);
@@ -189,8 +218,8 @@ bool Engine::try_starts(Time now) {
       if (!deps_done(t, now)) continue;
       for (PeId bus : fg_.broadcast_buses()) {
         if (busy_until_[bus] > now) continue;
-        if (!fits(bus, now, task.duration)) continue;
-        if (!knowledge_ok(t, now, bus)) continue;
+        if (!fits_reference(bus, now, task.duration)) continue;
+        if (!knowledge_ok_reference(t, now, bus)) continue;
         start_task(t, now, bus);
         any = true;
         break;
@@ -213,8 +242,8 @@ bool Engine::try_starts(Time now) {
         if (task.is_broadcast() || task.resource != res) continue;
         if (!active(t) || started_[t] || locked(t)) continue;
         if (!deps_done(t, now)) continue;
-        if (!fits(res, now, task.duration)) continue;
-        if (!knowledge_ok(t, now, res)) continue;
+        if (!fits_reference(res, now, task.duration)) continue;
+        if (!knowledge_ok_reference(t, now, res)) continue;
         if (!have || req_.priority[t] > req_.priority[best] ||
             (req_.priority[t] == req_.priority[best] && t < best)) {
           best = t;
@@ -236,12 +265,264 @@ bool Engine::try_starts(Time now) {
     if (locked(t)) continue;
     if (fg_.arch().pe(task.resource).sequential()) continue;
     if (!deps_done(t, now)) continue;
-    if (!knowledge_ok(t, now, task.resource)) continue;
+    if (!knowledge_ok_reference(t, now, task.resource)) continue;
     start_task(t, now, task.resource);
     any = true;
   }
 
   return any;
+}
+
+// --------------------------------------------------------------------------
+// Heap engine (kHeap).
+
+Cube Engine::known_context(PeId res, std::uint64_t mention) const {
+  std::vector<Literal> lits;
+  std::uint64_t rel = (known_pos_[res] | known_neg_[res]) & mention;
+  while (rel != 0) {
+    const int c = __builtin_ctzll(rel);
+    rel &= rel - 1;
+    lits.push_back(Literal{static_cast<CondId>(c),
+                           ((known_pos_[res] >> c) & 1) != 0});
+  }
+  return Cube(lits);
+}
+
+Cube Engine::known_context_full(PeId res) const {
+  // Fallback for models with more than 64 conditions: rebuild the known
+  // cube from the time matrix (any already-recorded time is in the past).
+  Cube known_cube;
+  for (CondId c = 0; c < fg_.cpg().conditions().size(); ++c) {
+    const auto value = req_.label.value_of(c);
+    if (!value) continue;
+    if (known_[res][c] == kInf) continue;
+    auto next = known_cube.conjoin(Literal{c, *value});
+    CPS_ASSERT(next.has_value(), "known cube cannot contradict itself");
+    known_cube = std::move(*next);
+  }
+  return known_cube;
+}
+
+bool Engine::guard_covered(const Dnf& guard, const TaskGuardInfo& info,
+                           PeId res) const {
+  if (info.trivially_true) return true;
+  if (use_masks_) {
+    // A cube whose literals are all known true on the resource covers the
+    // whole guard; for single-cube guards this test is exact.
+    for (const GuardCubeMask& cube : info.cubes) {
+      if (cube.covered_by(known_pos_[res], known_neg_[res])) return true;
+    }
+    if (info.cubes.size() <= 1) return false;
+    // All mentioned conditions decided but no cube satisfied: not covered.
+    if ((info.mention & ~(known_pos_[res] | known_neg_[res])) == 0) {
+      return false;
+    }
+    return cache_->covered(guard, known_context(res, info.mention));
+  }
+  return cache_->covered(guard, known_context_full(res));
+}
+
+bool Engine::guard_disjoint(const Dnf& guard, const TaskGuardInfo& info,
+                            PeId res) const {
+  if (info.trivially_true) return false;
+  if (use_masks_) {
+    // guard & known == false iff every cube of the guard contradicts a
+    // known condition value (exact, no fallback needed).
+    for (const GuardCubeMask& cube : info.cubes) {
+      if (!cube.conflicts(known_pos_[res], known_neg_[res])) return false;
+    }
+    return true;
+  }
+  return cache_->disjoint(guard, known_context_full(res));
+}
+
+bool Engine::knowledge_ok_fast(TaskId t, PeId res) const {
+  if (!req_.enforce_knowledge) return true;
+  const TaskGuardInfo& info = fg_.guard_info(t);
+  if (info.trivially_true && !info.conjunction) return true;
+  if (!guard_covered(fg_.task(t).guard, info, res)) return false;
+  if (info.conjunction) {
+    for (TaskId pred : info.guarded_preds) {
+      const TaskGuardInfo& pinfo = fg_.guard_info(pred);
+      if (req_.active[pred]) {
+        if (!guard_covered(fg_.task(pred).guard, pinfo, res)) return false;
+      } else {
+        if (!guard_disjoint(fg_.task(pred).guard, pinfo, res)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Engine::fits_fast(PeId res, Time now, Time dur) const {
+  if (req_.locks.empty()) return true;
+  if (!fg_.arch().pe(res).sequential()) return true;
+  for (TaskId t : locks_on_res_[res]) {
+    if (started_[t]) continue;
+    const TaskLock& l = *req_.locks[t];
+    const Time lock_end = l.start + fg_.task(t).duration;
+    if (l.start < now + dur && now < lock_end) return false;
+    if (fg_.task(t).duration == 0 && l.start >= now && l.start < now + dur) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::enqueue_ready(TaskId t) {
+  // Called when the last active predecessor of `t` completes (and at
+  // initialization for predecessor-free tasks). Locked tasks start via
+  // their reservation, broadcast tasks via the pending list.
+  if (!active(t) || started_[t] || locked(t)) return;
+  const Task& task = fg_.task(t);
+  if (task.is_broadcast()) return;
+  if (fg_.arch().pe(task.resource).sequential()) {
+    ready_[task.resource].push(ReadyEntry{req_.priority[t], t});
+  } else {
+    hw_ready_.push_back(t);
+  }
+}
+
+bool Engine::try_starts_heap(Time now) {
+  bool any = false;
+
+  // 1. Locked tasks reaching their fixed start time.
+  for (TaskId t : locked_tasks_) {
+    if (started_[t]) continue;
+    if (lock(t).start != now) continue;
+    if (!deps_done(t, now)) continue;
+    const PeId res = lock(t).resource;
+    if (!knowledge_ok_fast(t, res)) continue;
+    if (fg_.arch().pe(res).sequential() && busy_until_[res] > now) continue;
+    start_task(t, now, res);
+    any = true;
+  }
+
+  // 2. Broadcast tasks: as soon as possible on the first available
+  //    all-connecting bus.
+  if (!bcast_pending_.empty()) {
+    std::vector<TaskId> still;
+    still.reserve(bcast_pending_.size());
+    for (TaskId t : bcast_pending_) {
+      if (started_[t]) continue;
+      if (!deps_done(t, now)) {
+        still.push_back(t);
+        continue;
+      }
+      const Task& task = fg_.task(t);
+      for (PeId bus : fg_.broadcast_buses()) {
+        if (busy_until_[bus] > now) continue;
+        if (!fits_fast(bus, now, task.duration)) continue;
+        if (!knowledge_ok_fast(t, bus)) continue;
+        start_task(t, now, bus);
+        any = true;
+        break;
+      }
+      if (!started_[t]) still.push_back(t);
+    }
+    bcast_pending_ = std::move(still);
+  }
+
+  // 3. Sequential resources: pop the per-resource ready heap in priority
+  //    order; candidates blocked by a lock window or missing condition
+  //    knowledge are parked and re-armed after the next successful start
+  //    (a zero-duration chain may have changed the knowledge state).
+  std::vector<ReadyEntry> deferred;
+  for (PeId res : fg_.used_resources()) {
+    if (!fg_.arch().pe(res).sequential()) continue;
+    ReadyHeap& heap = ready_[res];
+    deferred.clear();
+    while (busy_until_[res] <= now && !heap.empty()) {
+      const ReadyEntry entry = heap.top();
+      heap.pop();
+      const TaskId t = entry.id;
+      if (started_[t]) continue;  // stale entry
+      if (!fits_fast(res, now, fg_.task(t).duration) ||
+          !knowledge_ok_fast(t, res)) {
+        deferred.push_back(entry);
+        continue;
+      }
+      start_task(t, now, res);
+      any = true;
+      for (const ReadyEntry& d : deferred) heap.push(d);
+      deferred.clear();
+    }
+    for (const ReadyEntry& d : deferred) heap.push(d);
+  }
+
+  // 4. Hardware resources run everything that is ready (the queue may grow
+  //    while iterating: zero-duration completions enqueue successors).
+  std::vector<TaskId> hw_still;
+  for (std::size_t i = 0; i < hw_ready_.size(); ++i) {
+    const TaskId t = hw_ready_[i];
+    if (started_[t]) continue;
+    const PeId res = fg_.task(t).resource;
+    if (!knowledge_ok_fast(t, res)) {
+      hw_still.push_back(t);
+      continue;
+    }
+    start_task(t, now, res);
+    any = true;
+  }
+  hw_ready_ = std::move(hw_still);
+
+  return any;
+}
+
+// --------------------------------------------------------------------------
+// Shared machinery.
+
+void Engine::start_task(TaskId t, Time now, PeId res) {
+  const Time dur = fg_.task(t).duration;
+  started_[t] = true;
+  sched_.place(t, now, now + dur, res);
+  if (dur == 0) {
+    complete_task(t, now);
+    return;
+  }
+  if (fg_.arch().pe(res).sequential()) {
+    busy_until_[res] = now + dur;
+  }
+  running_.push_back(t);
+}
+
+void Engine::complete_task(TaskId t, Time now) {
+  finished_[t] = true;
+  CPS_ASSERT(remaining_ > 0, "completion bookkeeping underflow");
+  --remaining_;
+  const Task& task = fg_.task(t);
+  const bool heap = heap_mode();
+  for (EdgeId e : fg_.deps().out_edges(t)) {
+    const TaskId succ = fg_.deps().edge(e).dst;
+    if (!active(succ)) continue;
+    CPS_ASSERT(pending_[succ] > 0, "predecessor bookkeeping underflow");
+    --pending_[succ];
+    dep_ready_[succ] = std::max(dep_ready_[succ], now);
+    if (heap && pending_[succ] == 0) enqueue_ready(succ);
+  }
+  // Knowledge updates.
+  const auto learn = [this](PeId res, CondId c, Time when) {
+    known_[res][c] = std::min(known_[res][c], when);
+    if (use_masks_) {
+      if (const auto value = req_.label.value_of(c)) {
+        (*value ? known_pos_ : known_neg_)[res] |= std::uint64_t{1} << c;
+      }
+    }
+  };
+  if (task.computes) {
+    const CondId c = *task.computes;
+    const PeId res = sched_.slot(t).resource;
+    learn(res, c, now);
+    if (!fg_.broadcasts_enabled()) {
+      // Single-resource models: the value is immediately visible (there is
+      // nobody else to inform).
+      for (PeId r = 0; r < fg_.arch().pe_count(); ++r) learn(r, c, now);
+    }
+  }
+  if (task.broadcasts) {
+    const CondId c = *task.broadcasts;
+    for (PeId r = 0; r < fg_.arch().pe_count(); ++r) learn(r, c, now);
+  }
 }
 
 EngineResult Engine::infeasible(TaskId t, const std::string& reason) {
@@ -273,6 +554,27 @@ EngineResult Engine::run() {
     ++remaining_;
     for (EdgeId e : fg_.deps().in_edges(t)) {
       if (active(fg_.deps().edge(e).src)) ++pending_[t];
+    }
+  }
+
+  if (heap_mode()) {
+    use_masks_ = fg_.masks_enabled();
+    known_pos_.assign(fg_.arch().pe_count(), 0);
+    known_neg_.assign(fg_.arch().pe_count(), 0);
+    ready_.assign(fg_.arch().pe_count(), ReadyHeap());
+    locks_on_res_.assign(fg_.arch().pe_count(), {});
+    for (TaskId t = 0; t < n; ++t) {
+      if (!active(t)) continue;
+      if (locked(t)) {
+        locked_tasks_.push_back(t);
+        locks_on_res_[lock(t).resource].push_back(t);
+        continue;
+      }
+      if (fg_.task(t).is_broadcast()) {
+        bcast_pending_.push_back(t);
+        continue;
+      }
+      if (pending_[t] == 0) enqueue_ready(t);
     }
   }
 
@@ -342,11 +644,14 @@ EngineResult run_list_scheduler(const FlatGraph& fg, EngineRequest request) {
 }
 
 PathSchedule schedule_path(const FlatGraph& fg, const AltPath& path,
-                           PriorityPolicy policy, Rng* rng) {
+                           PriorityPolicy policy, Rng* rng,
+                           ReadySelection selection, CoverCache* cover_cache) {
   EngineRequest req;
   req.label = path.label;
-  req.active = fg.active_tasks(path.label);
+  req.active = fg.active_tasks(path.label, cover_cache);
   req.priority = compute_priorities(fg, req.active, policy, rng);
+  req.selection = selection;
+  req.cover_cache = cover_cache;
   EngineResult res = run_list_scheduler(fg, std::move(req));
   CPS_ASSERT(res.feasible,
              "validated CPG path must be schedulable: " + res.reason);

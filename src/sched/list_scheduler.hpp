@@ -39,6 +39,18 @@ struct TaskLock {
   PeId resource = 0;
 };
 
+/// Ready-task selection strategy.
+///
+/// kHeap is the production engine: per-resource lazy max-heaps keyed by
+/// (priority, task id), precomputed guard masks and a memoized DNF cover
+/// cache. kLinearScan preserves the original O(V^2) engine byte-for-byte
+/// (full task scans, per-step DNF re-evaluation); it exists as the
+/// equivalence-test reference and performance baseline. Both produce
+/// identical schedules on identical requests.
+enum class ReadySelection : std::uint8_t { kHeap, kLinearScan };
+
+const char* to_string(ReadySelection s);
+
 struct EngineRequest {
   /// Path label: provides the value of every condition the guards can see.
   Cube label;
@@ -50,6 +62,12 @@ struct EngineRequest {
   std::vector<std::optional<TaskLock>> locks;
   /// Enforce the condition-knowledge rule (off for the oblivious baseline).
   bool enforce_knowledge = true;
+  /// Ready-task selection strategy (see ReadySelection).
+  ReadySelection selection = ReadySelection::kHeap;
+  /// Optional shared DNF cover cache (non-owning; must outlive the run and
+  /// memoize guards of the same FlatGraph). The engine uses a private
+  /// cache when null. Ignored by kLinearScan.
+  CoverCache* cover_cache = nullptr;
 };
 
 struct EngineResult {
@@ -70,6 +88,8 @@ EngineResult run_list_scheduler(const FlatGraph& fg, EngineRequest request);
 /// the path is unschedulable (cannot happen for a validated CPG).
 PathSchedule schedule_path(const FlatGraph& fg, const AltPath& path,
                            PriorityPolicy policy = PriorityPolicy::kCriticalPath,
-                           Rng* rng = nullptr);
+                           Rng* rng = nullptr,
+                           ReadySelection selection = ReadySelection::kHeap,
+                           CoverCache* cover_cache = nullptr);
 
 }  // namespace cps

@@ -38,6 +38,7 @@ class Merger {
  private:
   std::vector<std::size_t> reachable_under(const Cube& decided) const;
   std::size_t select(const std::vector<std::size_t>& reachable);
+  const std::vector<bool>& active_of(std::size_t path);
   Cube column_for(const PathSchedule& s, const Cube& label, TaskId t) const;
   void place(const PathSchedule& s, const Cube& label, TaskId t);
   PathSchedule adjust(const Cube& ancestors, const Cube& decided,
@@ -53,7 +54,25 @@ class Merger {
   std::vector<Time> deltas_;
   ScheduleTable table_;
   MergeStats stats_;
+  /// Memoized guard-cover results shared by every adjustment run (the
+  /// same (guard, known-conditions) queries recur across paths).
+  CoverCache cache_;
+  /// Per-path active-task vectors, computed once per path on demand.
+  std::vector<std::vector<bool>> active_cache_;
+  std::vector<bool> active_cached_;
 };
+
+const std::vector<bool>& Merger::active_of(std::size_t path) {
+  if (active_cache_.empty()) {
+    active_cache_.resize(paths_.size());
+    active_cached_.assign(paths_.size(), false);
+  }
+  if (!active_cached_[path]) {
+    active_cache_[path] = fg_.active_tasks(paths_[path].label, &cache_);
+    active_cached_[path] = true;
+  }
+  return active_cache_[path];
+}
 
 std::vector<std::size_t> Merger::reachable_under(const Cube& decided) const {
   std::vector<std::size_t> out;
@@ -134,7 +153,9 @@ PathSchedule Merger::adjust(const Cube& ancestors, const Cube& decided,
 
   EngineRequest base;
   base.label = path.label;
-  base.active = fg_.active_tasks(path.label);
+  base.active = active_of(cur);
+  base.selection = opts_.ready;
+  base.cover_cache = &cache_;
   base.locks.assign(fg_.task_count(), std::nullopt);
 
   // Rule 3: lock tasks whose activation time was already fixed in a column

@@ -41,6 +41,9 @@ const char* to_string(PathSelection s);
 struct MergeOptions {
   PathSelection selection = PathSelection::kLongestFirst;
   std::uint64_t random_seed = 1;
+  /// Engine used for the schedule adjustments (heap in production;
+  /// linear-scan as the pre-heap reference for equivalence/ablation).
+  ReadySelection ready = ReadySelection::kHeap;
   /// Trace the decision-tree walk, locks and conflicts to stderr
   /// (debugging aid).
   bool trace = false;

@@ -89,6 +89,16 @@ std::int64_t CliParser::get_int(const std::string& name) const {
   return out;
 }
 
+std::size_t CliParser::get_count(const std::string& name,
+                                 std::int64_t min_value) const {
+  const std::int64_t v = get_int(name);
+  if (v < min_value) {
+    throw ParseError("flag --" + name + ": must be >= " +
+                     std::to_string(min_value));
+  }
+  return static_cast<std::size_t>(v);
+}
+
 double CliParser::get_double(const std::string& name) const {
   const std::string v = get_string(name);
   std::size_t pos = 0;

@@ -32,6 +32,11 @@ class CliParser {
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
+  /// Non-negative count flag with a lower bound; throws ParseError when
+  /// the value is below `min_value` (e.g. a negative count).
+  std::size_t get_count(const std::string& name,
+                        std::int64_t min_value = 0) const;
+
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -1,0 +1,159 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+bool JsonWriter::write_output(const std::string& path,
+                              const std::string& payload) {
+  if (path == "-") {
+    std::cout << payload;
+    return true;
+  }
+  std::ofstream out(path);
+  out << payload;
+  out.close();
+  if (!out) {
+    std::cerr << "error: could not write " << path << '\n';
+    return false;
+  }
+  std::cerr << "wrote " << path << '\n';
+  return true;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_and_newline() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (has_member_.back()) out_ += ',';
+  has_member_.back() = true;
+  if (indent_ > 0 && depth_ > 0) {
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(indent_ * depth_), ' ');
+  }
+}
+
+void JsonWriter::open(char c) {
+  comma_and_newline();
+  CPS_REQUIRE(depth_ < 128, "JsonWriter: nesting too deep");
+  out_ += c;
+  ++depth_;
+  has_member_.push_back(false);
+}
+
+void JsonWriter::close(char c) {
+  CPS_REQUIRE(depth_ > 0, "JsonWriter: unbalanced close");
+  const bool had_members = has_member_.back();
+  has_member_.pop_back();
+  --depth_;
+  if (indent_ > 0 && had_members) {
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(indent_ * depth_), ' ');
+  }
+  out_ += c;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open('{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open('[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma_and_newline();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma_and_newline();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::write_int(std::int64_t v) {
+  comma_and_newline();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_uint(std::uint64_t v) {
+  comma_and_newline();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  comma_and_newline();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_and_newline();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_and_newline();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace cps

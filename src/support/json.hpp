@@ -1,0 +1,84 @@
+// Minimal deterministic JSON writer.
+//
+// The batch experiment driver emits machine-readable results consumed by
+// the benchmark harness and external tooling; determinism ("same seed,
+// byte-identical output") is part of the contract, so numbers are
+// formatted with fixed rules (no locale, fixed precision for doubles) and
+// keys appear exactly in emission order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace cps {
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 renders compact single-line.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by a value or container.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  /// Any integer type (dispatches on signedness; covers std::size_t on
+  /// every platform without overload ambiguity).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return write_int(static_cast<std::int64_t>(v));
+    } else {
+      return write_uint(static_cast<std::uint64_t>(v));
+    }
+  }
+  /// Fixed "%.6f" rendering (deterministic); non-finite values render as
+  /// null per JSON rules.
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// JSON string escaping (quotes not included).
+  static std::string escape(const std::string& s);
+
+  /// Write `payload` to `path`, with "-" meaning stdout. Returns false
+  /// (after printing to stderr) when the file cannot be written.
+  static bool write_output(const std::string& path,
+                           const std::string& payload);
+
+ private:
+  JsonWriter& write_int(std::int64_t v);
+  JsonWriter& write_uint(std::uint64_t v);
+  void comma_and_newline();
+  void open(char c);
+  void close(char c);
+
+  std::string out_;
+  int indent_ = 2;
+  int depth_ = 0;
+  // Whether the current container already holds a member (one flag per
+  // nesting level).
+  std::vector<bool> has_member_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace cps

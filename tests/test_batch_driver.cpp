@@ -1,0 +1,135 @@
+// Batch experiment driver: deterministic per-task seeding (same seed,
+// byte-identical JSON regardless of thread count), failure capture, and
+// the JSON writer's formatting rules.
+#include <gtest/gtest.h>
+
+#include "sched/batch_driver.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace cps;
+
+BatchConfig small_config() {
+  BatchConfig config;
+  config.count = 8;
+  config.base_seed = 42;
+  config.cpg.process_count = 20;
+  config.cpg.path_count = 4;
+  return config;
+}
+
+BatchJsonOptions deterministic_json() {
+  BatchJsonOptions options;
+  options.include_timing = false;
+  return options;
+}
+
+TEST(JsonWriter, RendersNestedStructures) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.field("name", "a \"quoted\" string\n");
+  w.field("int", static_cast<std::int64_t>(-3));
+  w.field("real", 1.5);
+  w.field("flag", true);
+  w.key("list").begin_array().value(1).value(2).end_array();
+  w.key("empty").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\": \"a \\\"quoted\\\" string\\n\",\"int\": -3,"
+            "\"real\": 1.500000,\"flag\": true,\"list\": [1,2],"
+            "\"empty\": {}}");
+}
+
+TEST(JsonWriter, IndentedOutputIsStable) {
+  JsonWriter w(2);
+  w.begin_object();
+  w.field("a", 1);
+  w.key("b").begin_array().value(2).end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(BatchDriver, ItemsAreDeterministicPureFunctionsOfSeed) {
+  const BatchConfig config = small_config();
+  const BatchItem a = run_batch_item(config, 3);
+  const BatchItem b = run_batch_item(config, 3);
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(a.seed, config.base_seed + 3);
+  EXPECT_EQ(a.delta_m, b.delta_m);
+  EXPECT_EQ(a.delta_max, b.delta_max);
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.table_entries, b.table_entries);
+}
+
+TEST(BatchDriver, SameSeedByteIdenticalJsonAcrossThreadCounts) {
+  BatchConfig config = small_config();
+  config.threads = 1;
+  const std::string single =
+      batch_result_to_json(run_batch(config), deterministic_json());
+  config.threads = 4;
+  const std::string pooled =
+      batch_result_to_json(run_batch(config), deterministic_json());
+  EXPECT_EQ(single, pooled);
+
+  // And across repeated runs of the same configuration.
+  const std::string again =
+      batch_result_to_json(run_batch(config), deterministic_json());
+  EXPECT_EQ(pooled, again);
+}
+
+TEST(BatchDriver, DifferentSeedsChangeResults) {
+  BatchConfig config = small_config();
+  const std::string a =
+      batch_result_to_json(run_batch(config), deterministic_json());
+  config.base_seed = 1234567;
+  const std::string b =
+      batch_result_to_json(run_batch(config), deterministic_json());
+  EXPECT_NE(a, b);
+}
+
+TEST(BatchDriver, HeapAndLinearEnginesAgreeOnResults) {
+  BatchConfig config = small_config();
+  config.synthesis.merge.ready = ReadySelection::kHeap;
+  const BatchResult heap = run_batch(config);
+  config.synthesis.merge.ready = ReadySelection::kLinearScan;
+  const BatchResult linear = run_batch(config);
+  ASSERT_EQ(heap.items.size(), linear.items.size());
+  for (std::size_t i = 0; i < heap.items.size(); ++i) {
+    EXPECT_EQ(heap.items[i].ok, linear.items[i].ok);
+    EXPECT_EQ(heap.items[i].delta_m, linear.items[i].delta_m);
+    EXPECT_EQ(heap.items[i].delta_max, linear.items[i].delta_max);
+    EXPECT_EQ(heap.items[i].table_entries, linear.items[i].table_entries);
+  }
+}
+
+TEST(BatchDriver, SummaryAggregatesOnlySuccessfulItems) {
+  BatchConfig config = small_config();
+  config.count = 5;
+  const BatchResult result = run_batch(config);
+  EXPECT_EQ(result.summary.count, 5u);
+  EXPECT_EQ(result.summary.ok_count,
+            static_cast<std::size_t>(result.summary.delta_m.count()));
+  for (const BatchItem& item : result.items) {
+    EXPECT_TRUE(item.ok) << item.error;
+  }
+  EXPECT_GT(result.summary.graphs_per_second, 0.0);
+}
+
+TEST(BatchDriver, GenerationFailureIsCapturedNotThrown) {
+  BatchConfig config = small_config();
+  config.count = 2;
+  config.cpg.path_count = 0;  // invalid: generator must reject
+  const BatchResult result = run_batch(config);
+  EXPECT_EQ(result.summary.ok_count, 0u);
+  for (const BatchItem& item : result.items) {
+    EXPECT_FALSE(item.ok);
+    EXPECT_FALSE(item.error.empty());
+  }
+  // Failures still serialize.
+  const std::string json =
+      batch_result_to_json(result, deterministic_json());
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+}
+
+}  // namespace
