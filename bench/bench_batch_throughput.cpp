@@ -26,6 +26,12 @@ int main(int argc, char** argv) try {
                "largest worker count of the sweep (0 = hardware)");
   cli.add_flag("ready", "heap", "engine: heap | linear");
   cli.add_flag("json", "", "dump the last batch as JSON to FILE (- = stdout)");
+  cli.add_flag("threads", "",
+               "run only this worker count instead of the power-of-two "
+               "sweep");
+  cli.add_bool("no-timing",
+               "omit wall-clock fields from --json so output is "
+               "byte-identical across runs and thread counts");
   if (!cli.parse(argc, argv)) return 0;
 
   BatchConfig config;
@@ -33,6 +39,11 @@ int main(int argc, char** argv) try {
   config.base_seed = static_cast<std::uint64_t>(cli.get_count("seed", 0));
   config.cpg.process_count = cli.get_count("nodes", 1);
   config.cpg.path_count = cli.get_count("paths", 1);
+  // Each graph is this sweep's unit of parallelism: per-item speculative
+  // merges would additionally fan out onto the process-wide shared pool,
+  // oversubscribing the cores and polluting the parallel-efficiency
+  // columns (the produced tables are identical either way).
+  config.synthesis.merge.execution = MergeExecution::kSerial;
   const std::string ready = cli.get_string("ready");
   if (ready == "linear") {
     config.synthesis.merge.ready = ReadySelection::kLinearScan;
@@ -56,12 +67,17 @@ int main(int argc, char** argv) try {
   table.header({"threads", "wall ms", "graphs/s", "speedup", "efficiency %",
                 "ok"});
 
-  // Sweep powers of two, always ending exactly at max_threads.
+  // Sweep powers of two, always ending exactly at max_threads — unless
+  // --threads pins a single worker count (determinism checks in CI).
   std::vector<std::size_t> sweep;
-  for (std::size_t threads = 1; threads < max_threads; threads *= 2) {
-    sweep.push_back(threads);
+  if (!cli.get_string("threads").empty()) {
+    sweep.push_back(cli.get_count("threads", 1));
+  } else {
+    for (std::size_t threads = 1; threads < max_threads; threads *= 2) {
+      sweep.push_back(threads);
+    }
+    sweep.push_back(max_threads);
   }
-  sweep.push_back(max_threads);
 
   std::string last_json;
   double base_wall = 0.0;
@@ -81,7 +97,9 @@ int main(int argc, char** argv) try {
         .cell(static_cast<std::int64_t>(s.ok_count));
     table.end_row();
     if (!cli.get_string("json").empty()) {
-      last_json = batch_result_to_json(result);
+      BatchJsonOptions json_options;
+      json_options.include_timing = !cli.get_bool("no-timing");
+      last_json = batch_result_to_json(result, json_options);
     }
   }
 

@@ -19,33 +19,6 @@ namespace {
 
 using namespace cps;
 
-std::vector<std::size_t> parse_sizes(const std::string& csv) {
-  std::vector<std::size_t> sizes;
-  for (const std::string& part : split(csv, ',')) {
-    if (part.empty()) continue;
-    // Digits only: stoul would otherwise wrap "-80" to a huge value.
-    const bool digits =
-        part.find_first_not_of("0123456789") == std::string::npos;
-    unsigned long value = 0;
-    if (digits) {
-      try {
-        value = std::stoul(part);
-      } catch (const std::exception&) {
-        value = 0;
-      }
-    }
-    if (!digits || value == 0) {
-      throw ParseError("flag --sizes: \"" + part +
-                       "\" is not a positive node count");
-    }
-    sizes.push_back(value);
-  }
-  if (sizes.empty()) {
-    throw ParseError("flag --sizes: no node counts given");
-  }
-  return sizes;
-}
-
 BatchResult run_size(std::size_t nodes, std::size_t graphs,
                      std::size_t paths, std::uint64_t seed,
                      std::size_t threads, ReadySelection ready) {
@@ -56,6 +29,10 @@ BatchResult run_size(std::size_t nodes, std::size_t graphs,
   config.cpg.process_count = nodes;
   config.cpg.path_count = paths;
   config.synthesis.merge.ready = ready;
+  // The batch already parallelizes across graphs; keep per-item merges
+  // serial so the engine-comparison timings are not skewed by the shared
+  // speculation pool (identical tables either way).
+  config.synthesis.merge.execution = MergeExecution::kSerial;
   return run_batch(config);
 }
 
@@ -76,7 +53,7 @@ int main(int argc, char** argv) try {
   const std::size_t paths = cli.get_count("paths", 1);
   const std::size_t threads = cli.get_count("threads", 0);
   const auto seed = static_cast<std::uint64_t>(cli.get_count("seed", 0));
-  const std::vector<std::size_t> sizes = parse_sizes(cli.get_string("sizes"));
+  const std::vector<std::size_t> sizes = cli.get_count_list("sizes");
   const bool compare = cli.get_bool("compare");
 
   AsciiTable table("S1 — pipeline stage cost (ms, averaged over " +

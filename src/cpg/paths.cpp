@@ -21,31 +21,54 @@ std::vector<bool> active_under_context(const Cpg& g, const Cube& context) {
   return active;
 }
 
-void enumerate_rec(const Cpg& g, const Cube& context,
-                   std::vector<AltPath>& out) {
-  const std::vector<bool> active = active_under_context(g, context);
-  // Find an active disjunction process whose condition is undecided.
-  // Deterministic choice: smallest condition id. (Any choice yields the
-  // same leaf set because conditions are independent.)
-  for (CondId c = 0; c < g.conditions().size(); ++c) {
-    if (context.mentions(c)) continue;
-    if (!active[g.disjunction_of(c)]) continue;
-    auto pos = context.conjoin(Literal{c, true});
-    auto neg = context.conjoin(Literal{c, false});
-    CPS_ASSERT(pos && neg, "undecided condition must be conjoinable");
-    enumerate_rec(g, *pos, out);
-    enumerate_rec(g, *neg, out);
-    return;
-  }
-  out.push_back(AltPath{context, active});
+}  // namespace
+
+PathEnumerator::PathEnumerator(const Cpg& g) : g_(&g) {
+  stack_.push_back(Cube::top());
 }
 
-}  // namespace
+std::optional<AltPath> PathEnumerator::next() {
+  while (!stack_.empty()) {
+    const Cube context = std::move(stack_.back());
+    stack_.pop_back();
+    std::vector<bool> active = active_under_context(*g_, context);
+    // Find an active disjunction process whose condition is undecided.
+    // Deterministic choice: smallest condition id. (Any choice yields the
+    // same leaf set because conditions are independent.)
+    bool expanded = false;
+    for (CondId c = 0; c < g_->conditions().size(); ++c) {
+      if (context.mentions(c)) continue;
+      if (!active[g_->disjunction_of(c)]) continue;
+      auto pos = context.conjoin(Literal{c, true});
+      auto neg = context.conjoin(Literal{c, false});
+      CPS_ASSERT(pos && neg, "undecided condition must be conjoinable");
+      // LIFO: push the false branch first so the true branch is expanded
+      // next, reproducing the recursive true-first depth-first order.
+      stack_.push_back(std::move(*neg));
+      stack_.push_back(std::move(*pos));
+      expanded = true;
+      break;
+    }
+    if (expanded) continue;
+    ++produced_;
+    return AltPath{context, std::move(active)};
+  }
+  return std::nullopt;
+}
 
 std::vector<AltPath> enumerate_paths(const Cpg& g) {
   std::vector<AltPath> out;
-  enumerate_rec(g, Cube::top(), out);
+  PathEnumerator en(g);
+  while (auto path = en.next()) out.push_back(std::move(*path));
   return out;
+}
+
+std::optional<std::size_t> count_paths(const Cpg& g, std::size_t limit) {
+  PathEnumerator en(g);
+  while (en.next()) {
+    if (limit != 0 && en.produced() > limit) return std::nullopt;
+  }
+  return en.produced();
 }
 
 AltPath path_for_assignment(const Cpg& g, const Assignment& a) {

@@ -4,8 +4,18 @@
 // An AltPath records the label L_k (the cube of condition values actually
 // encountered) and the set of processes active on the path. The number of
 // AltPaths is N_alt.
+//
+// N_alt grows exponentially with the number of independent conditions, so
+// the core enumerator is *streaming*: PathEnumerator walks the condition
+// decision tree with an explicit stack (O(depth) live state) and produces
+// one leaf per next() call. Nothing is materialized up front — a caller
+// can count paths, take the first k, or abort at a budget without ever
+// holding 2^n labels in memory. enumerate_paths() remains as the
+// drain-everything convenience used when the full set is needed anyway
+// (per-path scheduling + merging).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "cond/assignment.hpp"
@@ -27,11 +37,40 @@ struct AltPath {
   }
 };
 
-/// Enumerate every alternative path through the graph, in a deterministic
-/// order (depth-first over conditions in termination order, true branch
-/// first). The union of the labels covers every assignment; labels are
-/// pairwise incompatible.
+/// Streaming depth-first walk of the condition decision tree. Emission
+/// order is deterministic and identical to the historical recursive
+/// enumeration: conditions expand smallest-id first, true branch before
+/// false branch. The union of the emitted labels covers every assignment;
+/// labels are pairwise incompatible. The Cpg must outlive the enumerator.
+class PathEnumerator {
+ public:
+  explicit PathEnumerator(const Cpg& g);
+
+  /// Next alternative path, or nullopt when the walk is exhausted. Each
+  /// call does O(processes * conditions) work for the leaf it produces.
+  std::optional<AltPath> next();
+
+  /// Paths emitted so far.
+  std::size_t produced() const { return produced_; }
+
+ private:
+  const Cpg* g_;
+  /// Pending decision-tree contexts; the back is expanded next. Holds at
+  /// most one untaken sibling per tree level, so the stack stays
+  /// O(#conditions) even when the leaf count is exponential.
+  std::vector<Cube> stack_;
+  std::size_t produced_ = 0;
+};
+
+/// Enumerate every alternative path of the graph by draining a
+/// PathEnumerator into a vector (see the class for the order guarantee).
 std::vector<AltPath> enumerate_paths(const Cpg& g);
+
+/// Count the alternative paths without materializing them. When `limit`
+/// is non-zero the count stops early and returns nullopt as soon as it
+/// would exceed the limit — the cheap way to ask "is this graph's path
+/// set small enough to co-synthesize?" before committing to it.
+std::optional<std::size_t> count_paths(const Cpg& g, std::size_t limit = 0);
 
 /// The alternative path selected by a complete assignment.
 AltPath path_for_assignment(const Cpg& g, const Assignment& a);

@@ -1,11 +1,10 @@
 #include "sched/batch_driver.hpp"
 
-#include <atomic>
 #include <chrono>
-#include <thread>
 
 #include "support/error.hpp"
 #include "support/json.hpp"
+#include "support/thread_pool.hpp"
 
 namespace cps {
 
@@ -77,6 +76,8 @@ void write_item(JsonWriter& w, const BatchItem& item,
   w.field("unresolved_conflicts", item.merge.unresolved_conflicts);
   w.field("relaxed_locks", item.merge.relaxed_locks);
   w.field("column_clashes", item.merge.column_clashes);
+  w.field("speculative_hits", item.merge.speculative_hits);
+  w.field("speculative_misses", item.merge.speculative_misses);
   w.end_object();
   if (options.include_timing) {
     w.key("timing_ms").begin_object();
@@ -133,32 +134,23 @@ BatchResult run_batch(const BatchConfig& config) {
   result.config = config;
   result.items.resize(config.count);
 
-  std::size_t threads = config.threads;
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
+  std::size_t threads = ThreadPool::resolve_threads(config.threads);
   threads = std::min(threads, std::max<std::size_t>(config.count, 1));
 
   const auto t_begin = clock_type::now();
   if (config.count > 0) {
-    // Work stealing over an atomic counter: item i is a pure function of
-    // base_seed + i, so assignment order cannot influence the results.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= config.count) break;
-        result.items[i] = run_batch_item(config, i);
-      }
+    // Item i is a pure function of base_seed + i, so the pool's
+    // assignment order cannot influence the results.
+    const auto body = [&](std::size_t i) {
+      result.items[i] = run_batch_item(config, i);
     };
     if (threads <= 1) {
-      worker();
+      for (std::size_t i = 0; i < config.count; ++i) body(i);
     } else {
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
-      for (std::thread& t : pool) t.join();
+      // The calling thread participates in parallel_for, so the pool only
+      // needs threads - 1 workers to reach the requested parallelism.
+      ThreadPool pool(threads - 1);
+      pool.parallel_for(config.count, body);
     }
   }
   result.summary.wall_ms = ms_between(t_begin, clock_type::now());
@@ -189,6 +181,8 @@ std::string batch_result_to_json(const BatchResult& result,
   w.field("ready_selection", to_string(result.config.synthesis.merge.ready));
   w.field("path_selection",
           to_string(result.config.synthesis.merge.selection));
+  w.field("merge_execution",
+          to_string(result.config.synthesis.merge.execution));
   w.field("validate", result.config.synthesis.validate);
   w.end_object();
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "support/error.hpp"
 #include "support/strings.hpp"
 
 namespace cps {
@@ -21,20 +22,36 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
   const auto t0 = clock_type::now();
   auto flat = std::make_unique<FlatGraph>(FlatGraph::expand(g));
   const auto t1 = clock_type::now();
-  std::vector<AltPath> paths = enumerate_paths(g);
-  const auto t2 = clock_type::now();
 
+  // Stream enumeration and per-path scheduling: each alternative path is
+  // scheduled as soon as its label is produced, and the max_paths budget
+  // trips before an exponential label set is ever materialized.
   Rng rng(options.merge.random_seed);
   CoverCache cover_cache;
+  std::vector<AltPath> paths;
   std::vector<PathSchedule> schedules;
-  schedules.reserve(paths.size());
-  for (const AltPath& path : paths) {
-    schedules.push_back(schedule_path(*flat, path, options.path_priority,
-                                      &rng, options.merge.ready,
-                                      &cover_cache));
+  double enumerate_ms = 0.0;
+  double schedule_ms = 0.0;
+  PathEnumerator enumerator(g);
+  while (true) {
+    const auto e0 = clock_type::now();
+    auto path = enumerator.next();
+    enumerate_ms += ms_between(e0, clock_type::now());
+    if (!path) break;
+    if (options.max_paths != 0 && enumerator.produced() > options.max_paths) {
+      throw InvalidArgument(
+          "graph exceeds the alternative-path budget of " +
+          std::to_string(options.max_paths) + " paths");
+    }
+    paths.push_back(std::move(*path));
+    const auto s0 = clock_type::now();
+    schedules.push_back(schedule_path(*flat, paths.back(),
+                                      options.path_priority, &rng,
+                                      options.merge.ready, &cover_cache));
+    schedule_ms += ms_between(s0, clock_type::now());
   }
-  const auto t3 = clock_type::now();
 
+  const auto t3 = clock_type::now();
   MergeResult merged =
       merge_schedules(*flat, paths, schedules, options.merge);
   const auto t4 = clock_type::now();
@@ -53,8 +70,8 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
 
   StageTimings timings;
   timings.expand_ms = ms_between(t0, t1);
-  timings.enumerate_ms = ms_between(t1, t2);
-  timings.schedule_ms = ms_between(t2, t3);
+  timings.enumerate_ms = enumerate_ms;
+  timings.schedule_ms = schedule_ms;
   timings.merge_ms = ms_between(t3, t4);
   timings.validate_ms = ms_between(t4, t5);
 

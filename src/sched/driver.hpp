@@ -21,6 +21,12 @@ struct CoSynthesisOptions {
   /// ValidationError is thrown. Turn off only in benchmarks that measure
   /// merge time in isolation.
   bool validate = true;
+  /// Alternative-path budget. Paths are enumerated *streamingly* and
+  /// scheduled as they appear; when a graph has more than this many
+  /// paths the flow throws InvalidArgument as soon as the budget is
+  /// crossed, instead of first materializing (and scheduling) an
+  /// exponential path set. 0 = unlimited.
+  std::size_t max_paths = 0;
 };
 
 /// Wall-clock cost of each pipeline stage (milliseconds).

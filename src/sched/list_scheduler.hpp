@@ -37,6 +37,13 @@ namespace cps {
 struct TaskLock {
   Time start = 0;
   PeId resource = 0;
+
+  friend bool operator==(const TaskLock& a, const TaskLock& b) {
+    return a.start == b.start && a.resource == b.resource;
+  }
+  friend bool operator!=(const TaskLock& a, const TaskLock& b) {
+    return !(a == b);
+  }
 };
 
 /// Ready-task selection strategy.
@@ -86,10 +93,10 @@ EngineResult run_list_scheduler(const FlatGraph& fg, EngineRequest request);
 /// Convenience wrapper: schedule one alternative path with the given
 /// priority policy (initial per-path scheduling). Throws InternalError if
 /// the path is unschedulable (cannot happen for a validated CPG).
-PathSchedule schedule_path(const FlatGraph& fg, const AltPath& path,
-                           PriorityPolicy policy = PriorityPolicy::kCriticalPath,
-                           Rng* rng = nullptr,
-                           ReadySelection selection = ReadySelection::kHeap,
-                           CoverCache* cover_cache = nullptr);
+PathSchedule schedule_path(
+    const FlatGraph& fg, const AltPath& path,
+    PriorityPolicy policy = PriorityPolicy::kCriticalPath,
+    Rng* rng = nullptr, ReadySelection selection = ReadySelection::kHeap,
+    CoverCache* cover_cache = nullptr);
 
 }  // namespace cps

@@ -1,10 +1,15 @@
 #include "sched/merge.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <iostream>
 #include <limits>
+#include <memory>
+#include <mutex>
 
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace cps {
 
@@ -17,9 +22,90 @@ const char* to_string(PathSelection s) {
   return "?";
 }
 
+const char* to_string(MergeExecution e) {
+  switch (e) {
+    case MergeExecution::kSerial: return "serial";
+    case MergeExecution::kSpeculative: return "speculative";
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr Time kInf = std::numeric_limits<Time>::max();
+
+/// Engine run + lock-relaxation loop of one adjustment (paper §5.1): runs
+/// the list scheduler, dropping any rule-3 lock that turns out infeasible
+/// on the new path (rare; counted). Mutates base.locks to the final
+/// (possibly relaxed) set. Pure in the inputs — no table, RNG or stats
+/// access — which is exactly what makes it speculatable off-thread.
+struct AdjustEngineRun {
+  PathSchedule schedule;
+  std::size_t relaxed = 0;
+};
+
+AdjustEngineRun run_adjust_engine(const FlatGraph& fg, EngineRequest& base,
+                                  bool trace) {
+  AdjustEngineRun out;
+  EngineResult result;
+  while (true) {
+    result = run_list_scheduler(fg, base);
+    if (result.feasible) break;
+    if (result.offending_lock && base.locks[*result.offending_lock]) {
+      if (trace) {
+        std::cerr << "[merge]   RELAX lock on "
+                  << fg.task(*result.offending_lock).name << " ("
+                  << result.reason << ")\n";
+      }
+      base.locks[*result.offending_lock].reset();
+      ++out.relaxed;
+      continue;
+    }
+    CPS_ASSERT(false, "adjustment unschedulable: " + result.reason);
+  }
+  out.schedule = std::move(result.schedule);
+  return out;
+}
+
+/// One speculative adjustment in flight. The walking thread creates the
+/// job with the spawn-time lock set, a pool worker (or, if the walk gets
+/// there first, the walking thread itself) claims and runs the engine;
+/// the claim flag guarantees exactly-once execution and makes the scheme
+/// deadlock-free — the consumer never blocks on un-started work.
+struct SpecJob {
+  std::atomic<bool> claimed{false};
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+
+  const FlatGraph* fg = nullptr;
+  /// Inputs frozen at spawn; locks are mutated by the relaxation loop.
+  EngineRequest base;
+  /// Spawn-time rule-3 locks, kept for the commit-time validation.
+  std::vector<std::optional<TaskLock>> spawn_locks;
+
+  AdjustEngineRun result;
+  std::exception_ptr error;
+
+  /// Run the engine (claim must already be won by the caller).
+  void run() {
+    try {
+      result = run_adjust_engine(*fg, base, /*trace=*/false);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      done = true;
+    }
+    cv.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return done; });
+  }
+};
 
 class Merger {
  public:
@@ -33,6 +119,16 @@ class Merger {
         rng_(options.random_seed),
         table_(fg) {}
 
+  ~Merger() {
+    // Claim every outstanding job so no pool worker can touch a request
+    // that borrows from this object after it is gone (only relevant when
+    // run() unwinds through an exception; a normal walk commits — and
+    // therefore claims — every job it spawned).
+    for (const std::shared_ptr<SpecJob>& job : outstanding_) {
+      if (job->claimed.exchange(true)) job->wait();
+    }
+  }
+
   MergeResult run();
 
  private:
@@ -41,8 +137,27 @@ class Merger {
   const std::vector<bool>& active_of(std::size_t path);
   Cube column_for(const PathSchedule& s, const Cube& label, TaskId t) const;
   void place(const PathSchedule& s, const Cube& label, TaskId t);
+
+  /// Engine request for adjusting path `cur` (everything but the locks).
+  EngineRequest base_request(std::size_t cur);
+  /// Rule-3 lock derivation against the current table state: lock every
+  /// active task whose activation time was already fixed in a column
+  /// decided entirely at ancestors of the branching node. `count`
+  /// receives the number of locks found.
+  std::vector<std::optional<TaskLock>> rule3_locks(
+      const Cube& ancestors, const Cube& decided,
+      const std::vector<bool>& active, std::size_t* count) const;
+  /// §5.2 conflict handling on the walking thread (exact table state).
+  PathSchedule resolve_conflicts(EngineRequest& base, std::size_t cur,
+                                 PathSchedule adjusted);
+
   PathSchedule adjust(const Cube& ancestors, const Cube& decided,
                       std::size_t cur);
+  std::shared_ptr<SpecJob> spawn(const Cube& ancestors, const Cube& decided,
+                                 std::size_t cur);
+  PathSchedule commit(SpecJob& job, const Cube& ancestors,
+                      const Cube& decided, std::size_t cur);
+
   void dfs(const Cube& decided, std::size_t cur, const PathSchedule& sched,
            std::vector<bool> done);
 
@@ -54,12 +169,20 @@ class Merger {
   std::vector<Time> deltas_;
   ScheduleTable table_;
   MergeStats stats_;
-  /// Memoized guard-cover results shared by every adjustment run (the
-  /// same (guard, known-conditions) queries recur across paths).
+  /// Memoized guard-cover results shared by every walking-thread
+  /// adjustment run (the same (guard, known-conditions) queries recur
+  /// across paths). Never handed to pool workers — speculative engine
+  /// runs use their own private caches.
   CoverCache cache_;
   /// Per-path active-task vectors, computed once per path on demand.
   std::vector<std::vector<bool>> active_cache_;
   std::vector<bool> active_cached_;
+
+  /// Speculation state (kSpeculative only).
+  bool speculative_ = false;
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  std::vector<std::shared_ptr<SpecJob>> outstanding_;
 };
 
 const std::vector<bool>& Merger::active_of(std::size_t path) {
@@ -115,8 +238,13 @@ Cube Merger::column_for(const PathSchedule& s, const Cube& label,
     Time known_time;
     if (s.slot(disj).resource == slot.resource) {
       known_time = s.slot(disj).end;
-    } else if (auto bcast = fg_.broadcast_task(lit.cond);
-               bcast && s.scheduled(*bcast)) {
+    } else if (const auto bcast = fg_.broadcast_task(lit.cond)) {
+      // Multi-resource models: a condition value crosses resources only
+      // through its broadcast (the engine's knowledge rule). Without a
+      // scheduled broadcast the value never reaches this PE — treating it
+      // as known here used to fix start times in columns the resource
+      // cannot distinguish yet.
+      if (!s.scheduled(*bcast)) continue;
       known_time = s.slot(*bcast).end;
     } else {
       // Single-resource models: a value is visible everywhere as soon as
@@ -140,33 +268,33 @@ void Merger::place(const PathSchedule& s, const Cube& label, TaskId t) {
   if (res == AddEntryResult::kClash) ++stats_.column_clashes;
 }
 
-PathSchedule Merger::adjust(const Cube& ancestors, const Cube& decided,
-                            std::size_t cur) {
-  ++stats_.adjustments;
-  if (opts_.trace) {
-    std::cerr << "[merge] adjust path " << cur << " label "
-              << paths_[cur].label.to_string() << " decided "
-              << decided.to_string() << " ancestors "
-              << ancestors.to_string() << "\n";
-  }
-  const AltPath& path = paths_[cur];
-
+EngineRequest Merger::base_request(std::size_t cur) {
   EngineRequest base;
-  base.label = path.label;
+  base.label = paths_[cur].label;
   base.active = active_of(cur);
   base.selection = opts_.ready;
-  base.cover_cache = &cache_;
   base.locks.assign(fg_.task_count(), std::nullopt);
-
-  // Rule 3: lock tasks whose activation time was already fixed in a column
-  // decided entirely at ancestors of the branching node.
+  // Unlocked tasks keep the relative order of the path's optimal schedule.
+  const PathSchedule& orig = scheds_[cur];
+  base.priority.assign(fg_.task_count(), 0);
   for (TaskId t = 0; t < fg_.task_count(); ++t) {
-    if (!base.active[t]) continue;
+    if (orig.scheduled(t)) base.priority[t] = -orig.slot(t).start;
+  }
+  return base;
+}
+
+std::vector<std::optional<TaskLock>> Merger::rule3_locks(
+    const Cube& ancestors, const Cube& decided,
+    const std::vector<bool>& active, std::size_t* count) const {
+  std::vector<std::optional<TaskLock>> locks(fg_.task_count(), std::nullopt);
+  std::size_t found = 0;
+  for (TaskId t = 0; t < fg_.task_count(); ++t) {
+    if (!active[t]) continue;
     for (const TableEntry& e : table_.row(t)) {
       if (!e.column.conditions_subset_of(ancestors)) continue;
       if (!e.column.compatible(decided)) continue;
-      base.locks[t] = TaskLock{e.start, e.resource};
-      ++stats_.locks;
+      locks[t] = TaskLock{e.start, e.resource};
+      ++found;
       if (opts_.trace) {
         std::cerr << "[merge]   lock " << fg_.task(t).name << " @"
                   << e.start << " from column " << e.column.to_string()
@@ -175,34 +303,13 @@ PathSchedule Merger::adjust(const Cube& ancestors, const Cube& decided,
       break;
     }
   }
+  if (count != nullptr) *count = found;
+  return locks;
+}
 
-  // Unlocked tasks keep the relative order of the path's optimal schedule.
-  const PathSchedule& orig = scheds_[cur];
-  base.priority.assign(fg_.task_count(), 0);
-  for (TaskId t = 0; t < fg_.task_count(); ++t) {
-    if (orig.scheduled(t)) base.priority[t] = -orig.slot(t).start;
-  }
-
-  // Run, relaxing any lock that turns out infeasible on this path (rare;
-  // counted in the stats).
-  EngineResult result;
-  while (true) {
-    result = run_list_scheduler(fg_, base);
-    if (result.feasible) break;
-    if (result.offending_lock && base.locks[*result.offending_lock]) {
-      if (opts_.trace) {
-        std::cerr << "[merge]   RELAX lock on "
-                  << fg_.task(*result.offending_lock).name << " ("
-                  << result.reason << ")\n";
-      }
-      base.locks[*result.offending_lock].reset();
-      ++stats_.relaxed_locks;
-      continue;
-    }
-    CPS_ASSERT(false, "adjustment unschedulable: " + result.reason);
-  }
-  PathSchedule adjusted = std::move(result.schedule);
-
+PathSchedule Merger::resolve_conflicts(EngineRequest& base, std::size_t cur,
+                                       PathSchedule adjusted) {
+  const AltPath& path = paths_[cur];
   // §5.2 conflict handling. Each iteration pins one more task, so the
   // loop terminates after at most task_count iterations.
   while (true) {
@@ -266,6 +373,97 @@ PathSchedule Merger::adjust(const Cube& ancestors, const Cube& decided,
   return adjusted;
 }
 
+PathSchedule Merger::adjust(const Cube& ancestors, const Cube& decided,
+                            std::size_t cur) {
+  ++stats_.adjustments;
+  if (opts_.trace) {
+    std::cerr << "[merge] adjust path " << cur << " label "
+              << paths_[cur].label.to_string() << " decided "
+              << decided.to_string() << " ancestors "
+              << ancestors.to_string() << "\n";
+  }
+  EngineRequest base = base_request(cur);
+  std::size_t lock_count = 0;
+  base.locks = rule3_locks(ancestors, decided, base.active, &lock_count);
+  stats_.locks += lock_count;
+  base.cover_cache = &cache_;
+
+  AdjustEngineRun run = run_adjust_engine(fg_, base, opts_.trace);
+  stats_.relaxed_locks += run.relaxed;
+  return resolve_conflicts(base, cur, std::move(run.schedule));
+}
+
+std::shared_ptr<SpecJob> Merger::spawn(const Cube& ancestors,
+                                       const Cube& decided,
+                                       std::size_t cur) {
+  auto job = std::make_shared<SpecJob>();
+  job->fg = &fg_;
+  job->base = base_request(cur);
+  // The speculative engine run happens off-thread: no shared cover cache
+  // (CoverCache is not thread-safe; the engine falls back to a private
+  // one) and locks derived from the table as of spawn time.
+  job->base.cover_cache = nullptr;
+  job->base.locks = rule3_locks(ancestors, decided, job->base.active,
+                                nullptr);
+  job->spawn_locks = job->base.locks;
+  outstanding_.push_back(job);
+  pool_->submit([job] {
+    if (job->claimed.exchange(true)) return;  // the walk got there first
+    job->run();
+  });
+  return job;
+}
+
+PathSchedule Merger::commit(SpecJob& job, const Cube& ancestors,
+                            const Cube& decided, std::size_t cur) {
+  ++stats_.adjustments;
+  std::size_t lock_count = 0;
+  std::vector<std::optional<TaskLock>> fresh =
+      rule3_locks(ancestors, decided, job.base.active, &lock_count);
+  stats_.locks += lock_count;
+
+  // The hit/miss classification compares table states, not timing: it is
+  // identical at every thread count.
+  const bool reusable = fresh == job.spawn_locks;
+  if (reusable) {
+    ++stats_.speculative_hits;
+  } else {
+    ++stats_.speculative_misses;
+  }
+
+  if (!job.claimed.exchange(true)) {
+    // No worker picked the job up yet: run it inline with the fresh
+    // locks (always correct, whether or not they match spawn time).
+    // Mark the job done so anything waiting on the claimed flag (the
+    // destructor) sees the claim ⇒ eventually-done invariant hold.
+    {
+      std::lock_guard<std::mutex> lock(job.mutex);
+      job.done = true;
+    }
+    job.cv.notify_all();
+    job.base.locks = std::move(fresh);
+    job.base.cover_cache = &cache_;
+    AdjustEngineRun run = run_adjust_engine(fg_, job.base, false);
+    stats_.relaxed_locks += run.relaxed;
+    return resolve_conflicts(job.base, cur, std::move(run.schedule));
+  }
+
+  job.wait();
+  if (job.error) std::rethrow_exception(job.error);
+  job.base.cover_cache = &cache_;
+  if (reusable) {
+    // The sibling subtree fixed no additional rule-3 locks: the
+    // speculated engine run is exactly what the serial walk would have
+    // computed (locks in, relaxations and schedule out).
+    stats_.relaxed_locks += job.result.relaxed;
+    return resolve_conflicts(job.base, cur, std::move(job.result.schedule));
+  }
+  job.base.locks = std::move(fresh);
+  AdjustEngineRun run = run_adjust_engine(fg_, job.base, false);
+  stats_.relaxed_locks += run.relaxed;
+  return resolve_conflicts(job.base, cur, std::move(run.schedule));
+}
+
 void Merger::dfs(const Cube& decided, std::size_t cur,
                  const PathSchedule& sched, std::vector<bool> done) {
   const Cube& label = paths_[cur].label;
@@ -302,16 +500,28 @@ void Merger::dfs(const Cube& decided, std::size_t cur,
   auto flip = decided.conjoin(Literal{next_cond, !value});
   CPS_ASSERT(same && flip, "branching condition was undecided");
 
+  // The path the opposite branch will adjust is already determined (for
+  // the deterministic selection policies), so its engine run can start
+  // now and overlap with the walk of the sibling subtree below.
+  const auto reachable = reachable_under(*flip);
+  std::shared_ptr<SpecJob> job;
+  std::size_t flip_cur = 0;
+  if (!reachable.empty() && speculative_) {
+    flip_cur = select(reachable);
+    job = spawn(decided, *flip, flip_cur);
+  }
+
   // Follow the current schedule (no back-step).
   dfs(*same, cur, sched, done);
 
   // Back-step: explore the opposite condition value.
-  const auto reachable = reachable_under(*flip);
   if (!reachable.empty()) {
     ++stats_.backsteps;
-    const std::size_t next_cur = select(reachable);
-    const PathSchedule adjusted = adjust(decided, *flip, next_cur);
-    dfs(*flip, next_cur, adjusted, done);
+    if (!job) flip_cur = select(reachable);  // serial: original draw order
+    const PathSchedule adjusted =
+        job ? commit(*job, decided, *flip, flip_cur)
+            : adjust(decided, *flip, flip_cur);
+    dfs(*flip, flip_cur, adjusted, done);
   }
 }
 
@@ -319,6 +529,22 @@ MergeResult Merger::run() {
   CPS_REQUIRE(!paths_.empty(), "merge needs at least one path");
   CPS_REQUIRE(paths_.size() == scheds_.size(),
               "paths/schedules size mismatch");
+
+  // Tracing and random path selection are inherently serial-order
+  // businesses; everything else may speculate.
+  speculative_ = opts_.execution == MergeExecution::kSpeculative &&
+                 opts_.selection != PathSelection::kRandom && !opts_.trace;
+  if (speculative_) {
+    if (opts_.pool != nullptr) {
+      pool_ = opts_.pool;
+    } else if (opts_.threads == 0) {
+      pool_ = &ThreadPool::shared();
+    } else {
+      owned_pool_ = std::make_unique<ThreadPool>(opts_.threads);
+      pool_ = owned_pool_.get();
+    }
+  }
+
   deltas_.resize(paths_.size());
   for (std::size_t i = 0; i < paths_.size(); ++i) {
     deltas_[i] = scheds_[i].delay(fg_);

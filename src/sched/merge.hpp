@@ -27,6 +27,8 @@
 
 namespace cps {
 
+class ThreadPool;
+
 /// Which reachable path becomes the current one after a back-step.
 /// The paper uses kLongestFirst; the alternatives quantify the benefit
 /// (bench_ablation_merge_order).
@@ -38,14 +40,50 @@ enum class PathSelection : std::uint8_t {
 
 const char* to_string(PathSelection s);
 
+/// How the decision-tree walk executes.
+///
+/// kSpeculative (production) runs the engine part of every back-step
+/// adjustment on a thread pool: when the walk reaches a branching node it
+/// already knows which path the opposite branch will adjust, so the
+/// adjustment's list-scheduler run — a pure function of the rule-3 lock
+/// set — is dispatched speculatively while the walk continues through the
+/// sibling subtree. At commit time the lock set is re-derived from the
+/// (by then further filled) table; on a match the speculated schedule is
+/// reused, otherwise it is recomputed inline. Table writes, conflict
+/// resolution (§5.2) and path selection stay on the walking thread in
+/// exact serial order, so the resulting table is byte-identical to
+/// kSerial at every thread count.
+///
+/// kSerial is the reference single-threaded walk (the pre-parallel
+/// implementation, analogous to ReadySelection::kLinearScan), used by the
+/// equivalence tests and as the speedup baseline.
+enum class MergeExecution : std::uint8_t { kSerial, kSpeculative };
+
+const char* to_string(MergeExecution e);
+
 struct MergeOptions {
   PathSelection selection = PathSelection::kLongestFirst;
   std::uint64_t random_seed = 1;
   /// Engine used for the schedule adjustments (heap in production;
   /// linear-scan as the pre-heap reference for equivalence/ablation).
   ReadySelection ready = ReadySelection::kHeap;
+  /// Decision-tree walk execution (see MergeExecution). kSpeculative
+  /// silently degrades to the serial walk when tracing is on or when
+  /// selection == kRandom (the random draw order is part of the
+  /// reproducible serial behavior and cannot be speculated).
+  MergeExecution execution = MergeExecution::kSpeculative;
+  /// Speculative worker threads assisting the walk; 0 = the process-wide
+  /// shared pool (hardware concurrency). Ignored by kSerial. The merged
+  /// table does not depend on this value.
+  std::size_t threads = 0;
+  /// Optional externally owned pool for the speculative workers
+  /// (overrides `threads`): lets callers that merge repeatedly — or that
+  /// time the merge — pay the worker spawn cost once instead of per
+  /// invocation. Must outlive the merge call. nullptr = resolve from
+  /// `threads`.
+  ThreadPool* pool = nullptr;
   /// Trace the decision-tree walk, locks and conflicts to stderr
-  /// (debugging aid).
+  /// (debugging aid; forces the serial walk).
   bool trace = false;
 };
 
@@ -68,6 +106,14 @@ struct MergeStats {
   std::size_t relaxed_locks = 0;
   /// Exact-column clashes recorded by the table (0 expected).
   std::size_t column_clashes = 0;
+  /// Speculative adjustments whose spawn-time rule-3 lock set still
+  /// matched at commit time (engine run reused). Deterministic: the
+  /// hit/miss split depends only on table contents, never on timing, so
+  /// it is identical at every thread count (and 0 under kSerial).
+  std::size_t speculative_hits = 0;
+  /// Speculative adjustments re-run because the sibling subtree fixed
+  /// additional rule-3 locks in the meantime.
+  std::size_t speculative_misses = 0;
 };
 
 struct MergeResult {

@@ -21,6 +21,14 @@ struct TableEntry {
   /// Resource the activation refers to (differs from Task::resource only
   /// for broadcasts, which pick a bus per path).
   PeId resource = 0;
+
+  friend bool operator==(const TableEntry& a, const TableEntry& b) {
+    return a.column == b.column && a.start == b.start &&
+           a.resource == b.resource;
+  }
+  friend bool operator!=(const TableEntry& a, const TableEntry& b) {
+    return !(a == b);
+  }
 };
 
 enum class AddEntryResult {
@@ -65,6 +73,16 @@ class ScheduleTable {
 
   /// Total number of cells.
   std::size_t entry_count() const;
+
+  /// Cell-wise equality (rows, order and every entry field) — the
+  /// canonical check behind the "byte-identical tables" guarantees of the
+  /// speculative merger. Ignores which FlatGraph instance is referenced.
+  friend bool operator==(const ScheduleTable& a, const ScheduleTable& b) {
+    return a.rows_ == b.rows_;
+  }
+  friend bool operator!=(const ScheduleTable& a, const ScheduleTable& b) {
+    return !(a == b);
+  }
 
  private:
   const FlatGraph* fg_;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -75,11 +76,17 @@ std::string CliParser::get_string(const std::string& name) const {
 }
 
 std::int64_t CliParser::get_int(const std::string& name) const {
+  // std::stoll throws raw std::invalid_argument / std::out_of_range;
+  // translate both into a ParseError that names the offending flag, and
+  // reject trailing garbage ("12abc") via the parse position.
   const std::string v = get_string(name);
   std::size_t pos = 0;
   std::int64_t out = 0;
   try {
     out = std::stoll(v, &pos);
+  } catch (const std::out_of_range&) {
+    throw ParseError("flag --" + name + ": '" + v +
+                     "' is out of range for a 64-bit integer");
   } catch (const std::exception&) {
     throw ParseError("flag --" + name + ": '" + v + "' is not an integer");
   }
@@ -99,12 +106,41 @@ std::size_t CliParser::get_count(const std::string& name,
   return static_cast<std::size_t>(v);
 }
 
+std::vector<std::size_t> CliParser::get_count_list(
+    const std::string& name, std::int64_t min_value) const {
+  std::vector<std::size_t> out;
+  for (const std::string& field : split(get_string(name), ',')) {
+    const std::string v = trim(field);
+    if (v.empty()) continue;
+    std::size_t pos = 0;
+    std::int64_t n = 0;
+    try {
+      n = std::stoll(v, &pos);
+    } catch (const std::exception&) {
+      pos = 0;  // report through the shared error below
+    }
+    if (pos != v.size() || n < min_value) {
+      throw ParseError("flag --" + name + ": '" + v +
+                       "' is not an integer >= " +
+                       std::to_string(min_value));
+    }
+    out.push_back(static_cast<std::size_t>(n));
+  }
+  if (out.empty()) {
+    throw ParseError("flag --" + name + ": empty list");
+  }
+  return out;
+}
+
 double CliParser::get_double(const std::string& name) const {
   const std::string v = get_string(name);
   std::size_t pos = 0;
   double out = 0;
   try {
     out = std::stod(v, &pos);
+  } catch (const std::out_of_range&) {
+    throw ParseError("flag --" + name + ": '" + v +
+                     "' is out of range for a double");
   } catch (const std::exception&) {
     throw ParseError("flag --" + name + ": '" + v + "' is not a number");
   }

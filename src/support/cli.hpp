@@ -37,6 +37,12 @@ class CliParser {
   std::size_t get_count(const std::string& name,
                         std::int64_t min_value = 0) const;
 
+  /// Comma-separated list of counts ("60,80,120"); empty fields are
+  /// skipped. Throws ParseError (naming the flag) on malformed items, on
+  /// items below `min_value`, or when the list is empty.
+  std::vector<std::size_t> get_count_list(const std::string& name,
+                                          std::int64_t min_value = 1) const;
+
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -1,0 +1,114 @@
+#include "support/thread_pool.hpp"
+
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = resolve_threads(threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  CPS_REQUIRE(job != nullptr, "ThreadPool::submit: empty job");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CPS_REQUIRE(!stop_, "ThreadPool::submit after shutdown began");
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;  // drained: exit
+      continue;
+    }
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    job();
+    lock.lock();
+    --running_;
+    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Shared by the caller and the helper jobs; kept alive by shared_ptr so
+  // a helper scheduled after the caller finished (all indices consumed)
+  // still has valid state to look at.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::mutex m;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->count = count;
+  state->body = &body;
+
+  const auto drain = [](const std::shared_ptr<State>& s) {
+    while (true) {
+      const std::size_t i = s->next.fetch_add(1);
+      if (i >= s->count) break;
+      (*s->body)(i);
+      if (s->done.fetch_add(1) + 1 == s->count) {
+        std::lock_guard<std::mutex> lock(s->m);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  // One helper per worker, capped by the remaining items beyond the
+  // caller's own share.
+  const std::size_t helpers =
+      count > 1 ? std::min(thread_count(), count - 1) : 0;
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([state, drain] { drain(state); });
+  }
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->m);
+  state->cv.wait(lock,
+                 [&] { return state->done.load() == state->count; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace cps

@@ -1,0 +1,85 @@
+// Reusable fixed-size worker pool.
+//
+// Grown out of the batch driver's ad-hoc thread spawning: every parallel
+// subsystem (batch co-synthesis, speculative schedule merging) now shares
+// this one primitive instead of rolling its own std::thread vectors.
+//
+// Design constraints, in order:
+//  * determinism friendliness — the pool never decides *what* result is
+//    produced, only *where* a pure function runs. Callers that need
+//    byte-identical output across thread counts (batch driver, merge)
+//    keep their own commit ordering; the pool makes no ordering promise.
+//  * deadlock freedom under nesting — jobs may themselves own claim
+//    flags (see the speculative merger) so a blocked consumer can always
+//    steal un-started work back and run it inline.
+//  * cheap idling — workers sleep on a condition variable; an idle pool
+//    costs nothing, so a process-wide shared() instance is safe to keep
+//    alive for the program's lifetime.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cps {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1). A pool of size 1 is a valid degenerate case: submitted
+  /// jobs run on the single worker, parallel_for degenerates to the
+  /// caller plus one helper.
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Blocks until every running job finishes; queued jobs still run
+  /// before the workers exit (a submitted job is never dropped).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a job. Jobs must not throw (wrap and capture exceptions via
+  /// std::exception_ptr on the caller's side); an escaping exception
+  /// terminates the process, as with raw std::thread.
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and no job is running.
+  void wait_idle();
+
+  /// Run body(i) for every i in [0, count). The calling thread
+  /// participates (work stealing over a shared atomic counter), so the
+  /// call also works on a zero-thread pool and never deadlocks when
+  /// invoked from inside another pool's job. Returns when every index
+  /// has completed. `body` must be safe to invoke concurrently.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  /// Intended for latency-insensitive helpers (speculative merge
+  /// adjustments); subsystems with an explicit thread-count knob (batch
+  /// driver) construct their own.
+  static ThreadPool& shared();
+
+  /// Resolve a user-facing thread-count knob: 0 = hardware concurrency.
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for jobs
+  std::condition_variable idle_cv_;   // wait_idle waits for drain
+  std::deque<std::function<void()>> queue_;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cps

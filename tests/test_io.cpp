@@ -144,5 +144,53 @@ TEST(TableCsv, ExportsCellsAndDelays) {
   EXPECT_NE(d.find("C & D & K,39,39"), std::string::npos);
 }
 
+TEST(TableCsv, QuotesTaskAndConditionNamesPerRfc4180) {
+  // Task names and rendered condition columns may contain commas and
+  // quotes; cells must come out RFC-4180 quoted so the row structure
+  // survives any downstream CSV reader.
+  CpgBuilder b(testing::small_arch());
+  const CondId c = b.add_condition("C,\"v1\"");
+  const ProcessId p1 = b.add_process("prod,main", 0, 2);
+  const ProcessId p2 = b.add_process("cons \"fast\"", 1, 6);
+  const ProcessId p3 = b.add_process("cons,slow", 1, 2);
+  const ProcessId p4 = b.add_process("join", 1, 1);
+  b.add_cond_edge(p1, p2, Literal{c, true}, 2);
+  b.add_cond_edge(p1, p3, Literal{c, false}, 2);
+  b.add_edge(p2, p4);
+  b.add_edge(p3, p4);
+  b.mark_conjunction(p4);
+  const Cpg g = b.build();
+  const CoSynthesisResult r = schedule_cpg(g);
+
+  std::ostringstream os;
+  write_table_csv(os, r.table);
+  const std::string t = os.str();
+  // Comma-carrying task name: quoted verbatim.
+  EXPECT_NE(t.find("\"prod,main\",process"), std::string::npos);
+  // Quote-carrying task name: quotes doubled inside a quoted cell.
+  EXPECT_NE(t.find("\"cons \"\"fast\"\"\",process"), std::string::npos);
+  // Rendered condition column embeds the condition's comma+quote name.
+  EXPECT_NE(t.find("\"C,\"\"v1\"\"\""), std::string::npos);
+  // Every data row still splits into exactly 5 RFC-4180 cells.
+  std::size_t line_start = t.find('\n') + 1;
+  while (line_start < t.size()) {
+    const std::size_t line_end = t.find('\n', line_start);
+    const std::string line = t.substr(line_start, line_end - line_start);
+    std::size_t cells = 1;
+    bool quoted = false;
+    for (char ch : line) {
+      if (ch == '"') quoted = !quoted;
+      if (ch == ',' && !quoted) ++cells;
+    }
+    EXPECT_FALSE(quoted) << line;
+    EXPECT_EQ(cells, 5u) << line;
+    line_start = line_end + 1;
+  }
+
+  std::ostringstream delay_os;
+  write_delay_csv(delay_os, r.flat_graph(), r.paths, r.delays);
+  EXPECT_NE(delay_os.str().find("\"C,\"\"v1\"\"\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cps

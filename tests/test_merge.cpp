@@ -110,6 +110,81 @@ TEST(Merge, SelectionPolicyChangesOutcome) {
   EXPECT_LE(a.delays.delta_max, b.delays.delta_max);
 }
 
+TEST(Merge, CrossResourceConditionIsUnknownWithoutBroadcast) {
+  // Regression test for the condition-knowledge-time rule of column_for:
+  // on a multi-PE model a condition value reaches another resource only
+  // through its broadcast task. When the broadcast is not scheduled the
+  // value never crosses, and start times on that resource must not be
+  // fixed in columns claiming the condition is known there. The buggy
+  // fallback assumed instant cross-resource visibility (disjunction end
+  // time), which put X's activation into column "C" even though C is
+  // computed on another PE and never broadcast.
+  CpgBuilder b(small_arch());
+  const CondId c = b.add_condition("C");
+  const ProcessId d = b.add_process("D", 0, 2);   // computes C on cpu1
+  const ProcessId pt = b.add_process("T", 0, 1);  // true branch, cpu1
+  const ProcessId pf = b.add_process("F", 0, 1);  // false branch, cpu1
+  const ProcessId px = b.add_process("X", 1, 3);  // independent, cpu2
+  b.add_cond_edge(d, pt, Literal{c, true});
+  b.add_cond_edge(d, pf, Literal{c, false});
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  ASSERT_TRUE(fg.broadcasts_enabled());
+
+  const TaskId task_d = fg.task_of_process(d);
+  const TaskId task_t = fg.task_of_process(pt);
+  const TaskId task_f = fg.task_of_process(pf);
+  const TaskId task_x = fg.task_of_process(px);
+  const TaskId task_src = fg.source_task();
+  const TaskId task_sink = fg.sink_task();
+
+  // Hand-built path schedules that *omit the broadcast task*: C's value
+  // stays on cpu1. X starts at 5, after the disjunction's end (2), which
+  // is exactly where the buggy fallback claimed C was already known on
+  // cpu2.
+  std::vector<AltPath> paths = enumerate_paths(g);
+  ASSERT_EQ(paths.size(), 2u);
+  // Put the true path first for readability.
+  if (paths[0].label.value_of(c) != true) std::swap(paths[0], paths[1]);
+  std::vector<PathSchedule> schedules(2, PathSchedule(fg.task_count()));
+  // True path (the longer one; merged first).
+  schedules[0].place(task_src, 0, 0, 0);
+  schedules[0].place(task_d, 0, 2, 0);
+  schedules[0].place(task_t, 2, 3, 0);
+  schedules[0].place(task_x, 5, 8, 1);
+  schedules[0].place(task_sink, 8, 8, 0);
+  // False path.
+  schedules[1].place(task_src, 0, 0, 0);
+  schedules[1].place(task_d, 0, 2, 0);
+  schedules[1].place(task_f, 2, 3, 0);
+  schedules[1].place(task_x, 3, 6, 1);
+  schedules[1].place(task_sink, 6, 6, 0);
+
+  for (const MergeExecution execution :
+       {MergeExecution::kSerial, MergeExecution::kSpeculative}) {
+    SCOPED_TRACE(to_string(execution));
+    MergeOptions options;
+    options.execution = execution;
+    const MergeResult merged =
+        merge_schedules(fg, paths, schedules, options);
+
+    // X's activation from the true-path schedule must sit in the
+    // unconditional column: C is not (and will never be) known on cpu2.
+    bool found_unconditional = false;
+    for (const TableEntry& e : merged.table.row(task_x)) {
+      EXPECT_NE(e.column.value_of(c), true)
+          << "column claims C is known on cpu2 at t=" << e.start
+          << " without a scheduled broadcast";
+      if (e.column.is_true() && e.start == 5) found_unconditional = true;
+    }
+    EXPECT_TRUE(found_unconditional);
+    // The same-resource column is unaffected: T runs on the PE that
+    // computes C, so its activation legitimately lives in column "C".
+    ASSERT_EQ(merged.table.row(task_t).size(), 1u);
+    EXPECT_EQ(merged.table.row(task_t)[0].column, Cube(Literal{c, true}));
+  }
+}
+
 struct MergeSweepParam {
   std::uint64_t seed;
   std::size_t nodes;

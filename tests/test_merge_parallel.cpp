@@ -1,0 +1,174 @@
+// Equivalence of the speculative (parallel) merge with the serial
+// reference walk: byte-identical schedule tables and identical merge
+// statistics over seeded random CPGs — including multi-PE architectures,
+// where condition knowledge lags behind the disjunction and the
+// speculative lock validation actually has work to do — at every thread
+// count.
+#include <gtest/gtest.h>
+
+#include "gen/arch_gen.hpp"
+#include "gen/random_cpg.hpp"
+#include "models/fig1.hpp"
+#include "sched/driver.hpp"
+
+namespace cps {
+namespace {
+
+struct Inputs {
+  std::unique_ptr<FlatGraph> fg;
+  std::vector<AltPath> paths;
+  std::vector<PathSchedule> schedules;
+};
+
+Inputs co_synthesis_inputs(const Cpg& g) {
+  Inputs in;
+  in.fg = std::make_unique<FlatGraph>(FlatGraph::expand(g));
+  CoverCache cache;
+  PathEnumerator en(g);
+  while (auto path = en.next()) {
+    in.paths.push_back(std::move(*path));
+    in.schedules.push_back(schedule_path(*in.fg, in.paths.back(),
+                                         PriorityPolicy::kCriticalPath,
+                                         nullptr, ReadySelection::kHeap,
+                                         &cache));
+  }
+  return in;
+}
+
+void expect_identical_tables(const ScheduleTable& a, const ScheduleTable& b) {
+  // Granular per-entry checks for diagnosable failures ...
+  ASSERT_EQ(a.row_count(), b.row_count());
+  for (TaskId t = 0; t < a.row_count(); ++t) {
+    ASSERT_EQ(a.row(t).size(), b.row(t).size()) << "task " << t;
+    for (std::size_t i = 0; i < a.row(t).size(); ++i) {
+      EXPECT_EQ(a.row(t)[i].column, b.row(t)[i].column) << "task " << t;
+      EXPECT_EQ(a.row(t)[i].start, b.row(t)[i].start) << "task " << t;
+      EXPECT_EQ(a.row(t)[i].resource, b.row(t)[i].resource) << "task " << t;
+    }
+  }
+  // ... and the canonical comparison, so a future TableEntry field cannot
+  // silently fall out of the equivalence guarantee.
+  EXPECT_TRUE(a == b);
+}
+
+void expect_identical_stats(const MergeStats& a, const MergeStats& b) {
+  EXPECT_EQ(a.backsteps, b.backsteps);
+  EXPECT_EQ(a.adjustments, b.adjustments);
+  EXPECT_EQ(a.locks, b.locks);
+  EXPECT_EQ(a.conflicts, b.conflicts);
+  EXPECT_EQ(a.conflict_moves, b.conflict_moves);
+  EXPECT_EQ(a.unresolved_conflicts, b.unresolved_conflicts);
+  EXPECT_EQ(a.relaxed_locks, b.relaxed_locks);
+  EXPECT_EQ(a.column_clashes, b.column_clashes);
+}
+
+void expect_equivalence(const Cpg& g) {
+  const Inputs in = co_synthesis_inputs(g);
+
+  MergeOptions serial;
+  serial.execution = MergeExecution::kSerial;
+  const MergeResult reference =
+      merge_schedules(*in.fg, in.paths, in.schedules, serial);
+  EXPECT_EQ(reference.stats.speculative_hits, 0u);
+  EXPECT_EQ(reference.stats.speculative_misses, 0u);
+
+  MergeStats previous_speculative;
+  bool have_previous = false;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    MergeOptions parallel;
+    parallel.execution = MergeExecution::kSpeculative;
+    parallel.threads = threads;
+    const MergeResult speculative =
+        merge_schedules(*in.fg, in.paths, in.schedules, parallel);
+    expect_identical_tables(reference.table, speculative.table);
+    expect_identical_stats(reference.stats, speculative.stats);
+    // Every adjustment went through the speculation machinery, and the
+    // hit/miss split itself is thread-count invariant.
+    EXPECT_EQ(speculative.stats.speculative_hits +
+                  speculative.stats.speculative_misses,
+              speculative.stats.adjustments);
+    if (have_previous) {
+      EXPECT_EQ(previous_speculative.speculative_hits,
+                speculative.stats.speculative_hits);
+      EXPECT_EQ(previous_speculative.speculative_misses,
+                speculative.stats.speculative_misses);
+    }
+    previous_speculative = speculative.stats;
+    have_previous = true;
+  }
+}
+
+TEST(MergeParallel, Fig1Equivalence) { expect_equivalence(build_fig1_cpg()); }
+
+TEST(MergeParallel, HundredSeededRandomCpgsAreEquivalent) {
+  // 100 random co-syntheses over the paper's architecture distribution
+  // (1-11 processors + ASIC + 1-8 buses: virtually always multi-PE, so
+  // broadcast knowledge lag and cross-subtree lock discovery are
+  // exercised), with varying sizes, path counts and distributions.
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    const Architecture arch = generate_random_architecture(rng);
+    RandomCpgParams params;
+    params.process_count = 20 + (seed % 4) * 10;
+    params.path_count = 4 + (seed % 5) * 3;
+    params.distribution = (seed % 2) == 0 ? TimeDistribution::kUniform
+                                          : TimeDistribution::kExponential;
+    const Cpg g = generate_random_cpg(arch, params, rng);
+    expect_equivalence(g);
+  }
+}
+
+TEST(MergeParallel, StressRegimeWithConflictsStaysEquivalent) {
+  // Slow broadcasts make condition knowledge lag far behind the
+  // disjunctions: the regime where sibling subtrees fix extra rule-3
+  // locks (speculation misses) and §5.2 conflicts appear.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    RandomArchParams ap;
+    ap.cond_broadcast_time = 6;
+    const Architecture arch = generate_random_architecture(rng, ap);
+    RandomCpgParams params;
+    params.process_count = 30;
+    params.path_count = 6 + (seed % 3) * 6;
+    params.comm_min = 6;
+    params.comm_max = 20;
+    const Cpg g = generate_random_cpg(arch, params, rng);
+    expect_equivalence(g);
+  }
+}
+
+TEST(MergeParallel, RandomSelectionDegradesToSerialWalk) {
+  // kRandom path selection draws from the walk's RNG in serial order;
+  // speculative execution must transparently fall back and reproduce the
+  // serial result exactly.
+  Rng rng(7);
+  const Architecture arch = generate_random_architecture(rng);
+  RandomCpgParams params;
+  params.process_count = 30;
+  params.path_count = 8;
+  const Cpg g = generate_random_cpg(arch, params, rng);
+  const Inputs in = co_synthesis_inputs(g);
+
+  MergeOptions serial;
+  serial.execution = MergeExecution::kSerial;
+  serial.selection = PathSelection::kRandom;
+  serial.random_seed = 99;
+  MergeOptions parallel = serial;
+  parallel.execution = MergeExecution::kSpeculative;
+  parallel.threads = 4;
+
+  const MergeResult a = merge_schedules(*in.fg, in.paths, in.schedules,
+                                        serial);
+  const MergeResult b = merge_schedules(*in.fg, in.paths, in.schedules,
+                                        parallel);
+  expect_identical_tables(a.table, b.table);
+  expect_identical_stats(a.stats, b.stats);
+  EXPECT_EQ(b.stats.speculative_hits + b.stats.speculative_misses, 0u);
+}
+
+}  // namespace
+}  // namespace cps

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "models/fig1.hpp"
+#include "sched/driver.hpp"
 #include "test_util.hpp"
 
 namespace cps {
@@ -118,6 +119,85 @@ TEST(Paths, Fig1HasSixPaths) {
     ASSERT_TRUE(p.label.mentions(d));
     EXPECT_EQ(p.label.mentions(k), p.label.value_of(d) == true);
   }
+}
+
+// ---------------------------------------------------------------------
+// Streaming enumeration. The path count is exponential in the number of
+// independent condition regions, so the enumerator must produce leaves
+// one at a time from O(depth) state instead of materializing the set.
+// ---------------------------------------------------------------------
+
+// `regions` independent two-way condition regions in series: 2^regions
+// alternative paths from 4 * regions + 2 processes.
+Cpg series_of_conditions(std::size_t regions) {
+  CpgBuilder b(small_arch());
+  std::optional<ProcessId> prev;
+  for (std::size_t i = 0; i < regions; ++i) {
+    const std::string n = std::to_string(i);
+    const CondId c = b.add_condition("C" + n);
+    const ProcessId d = b.add_process("D" + n, 0, 1);
+    const ProcessId t = b.add_process("T" + n, 0, 1);
+    const ProcessId f = b.add_process("F" + n, 0, 1);
+    const ProcessId j = b.add_process("J" + n, 0, 1);
+    b.add_cond_edge(d, t, Literal{c, true});
+    b.add_cond_edge(d, f, Literal{c, false});
+    b.add_edge(t, j);
+    b.add_edge(f, j);
+    b.mark_conjunction(j);
+    if (prev) b.add_edge(*prev, d);
+    prev = j;
+  }
+  return b.build();
+}
+
+TEST(PathEnumerator, MatchesEnumerationOrderOnFig1) {
+  const Cpg g = build_fig1_cpg();
+  const auto all = enumerate_paths(g);
+  PathEnumerator en(g);
+  for (const AltPath& expected : all) {
+    const auto produced = en.next();
+    ASSERT_TRUE(produced.has_value());
+    EXPECT_EQ(produced->label, expected.label);
+    EXPECT_EQ(produced->active, expected.active);
+  }
+  EXPECT_FALSE(en.next().has_value());
+  EXPECT_EQ(en.produced(), all.size());
+}
+
+TEST(PathEnumerator, StreamsFirstLeavesOfAHugePathSetInstantly) {
+  // 2^20 ≈ 1M alternative paths; taking the first few must not walk (or
+  // allocate) the rest of the tree.
+  const Cpg g = series_of_conditions(20);
+  PathEnumerator en(g);
+  for (int i = 0; i < 8; ++i) {
+    const auto path = en.next();
+    ASSERT_TRUE(path.has_value());
+    // The first leaf decides every condition (true-first DFS descends the
+    // all-true branch); label size equals the region count.
+    EXPECT_EQ(path->label.size(), 20u);
+  }
+  EXPECT_EQ(en.produced(), 8u);
+}
+
+TEST(PathEnumerator, CountPathsStopsAtTheLimit) {
+  const Cpg small = series_of_conditions(6);
+  EXPECT_EQ(count_paths(small), std::optional<std::size_t>(64));
+  EXPECT_EQ(count_paths(small, 64), std::optional<std::size_t>(64));
+  EXPECT_FALSE(count_paths(small, 63).has_value());
+  // On the huge graph the limited count returns quickly.
+  const Cpg huge = series_of_conditions(20);
+  EXPECT_FALSE(count_paths(huge, 1000).has_value());
+}
+
+TEST(PathEnumerator, DriverPathBudgetTripsBeforeMaterializing) {
+  const Cpg g = series_of_conditions(12);  // 4096 paths
+  CoSynthesisOptions options;
+  options.max_paths = 64;
+  EXPECT_THROW(schedule_cpg(g, options), InvalidArgument);
+  // A graph within the budget still co-synthesizes.
+  const Cpg ok = series_of_conditions(3);
+  options.max_paths = 8;
+  EXPECT_EQ(schedule_cpg(ok, options).paths.size(), 8u);
 }
 
 }  // namespace

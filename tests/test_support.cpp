@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/random.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
 #include "support/table_format.hpp"
+#include "support/thread_pool.hpp"
 
 namespace cps {
 namespace {
@@ -46,7 +51,9 @@ TEST(Rng, UniformIntSingletonRange) {
 TEST(Rng, UniformIntCoversRange) {
   Rng rng(11);
   std::vector<int> seen(4, 0);
-  for (int i = 0; i < 400; ++i) ++seen[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+  for (int i = 0; i < 400; ++i) {
+    ++seen[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+  }
   for (int count : seen) EXPECT_GT(count, 0);
 }
 
@@ -235,6 +242,178 @@ TEST(Cli, MissingValueIsAnError) {
   cli.add_flag("n", "1", "n");
   const char* argv[] = {"prog", "--n"};
   EXPECT_THROW(cli.parse(2, argv), ParseError);
+}
+
+TEST(Cli, GetIntRejectsMalformedValuesWithNamedErrors) {
+  // std::stoll's raw invalid_argument/out_of_range must never escape:
+  // every failure is a ParseError naming the flag and the value.
+  const auto parse_one = [](const char* value) {
+    CliParser cli("test");
+    cli.add_flag("n", "1", "n");
+    const char* argv[] = {"prog", "--n", value};
+    EXPECT_TRUE(cli.parse(3, argv));
+    return cli;
+  };
+  for (const char* bad : {"", " ", "xyz", "12abc", "1.5", "--", "0x1g"}) {
+    SCOPED_TRACE(std::string("value '") + bad + "'");
+    try {
+      parse_one(bad).get_int("n");
+      FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    }
+  }
+  // Out-of-range gets its own message (and is still a ParseError, not a
+  // raw std::out_of_range).
+  try {
+    parse_one("99999999999999999999999").get_int("n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"),
+              std::string::npos);
+  }
+  // Values std::stoll accepts in full remain fine.
+  EXPECT_EQ(parse_one("-12").get_int("n"), -12);
+  EXPECT_EQ(parse_one("+7").get_int("n"), 7);
+}
+
+TEST(Cli, GetDoubleRejectsMalformedValues) {
+  const auto parse_one = [](const char* value) {
+    CliParser cli("test");
+    cli.add_flag("x", "1.0", "x");
+    const char* argv[] = {"prog", "--x", value};
+    EXPECT_TRUE(cli.parse(3, argv));
+    return cli;
+  };
+  EXPECT_THROW(parse_one("").get_double("x"), ParseError);
+  EXPECT_THROW(parse_one("abc").get_double("x"), ParseError);
+  EXPECT_THROW(parse_one("1.5x").get_double("x"), ParseError);
+  EXPECT_THROW(parse_one("1e999999").get_double("x"), ParseError);
+  EXPECT_DOUBLE_EQ(parse_one("2.5").get_double("x"), 2.5);
+}
+
+// ----------------------------------------------------------- json -----
+
+namespace {
+
+/// Minimal structural JSON check: balanced containers outside strings,
+/// and no bare non-finite tokens ("nan", "inf") anywhere — the failure
+/// mode this guards against is printf-style "%f" rendering of NaN/inf.
+void expect_valid_jsonish(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  std::string outside;  // everything not inside a string literal
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      continue;
+    }
+    outside += c;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(outside.find("nan"), std::string::npos);
+  EXPECT_EQ(outside.find("inf"), std::string::npos);
+}
+
+}  // namespace
+
+TEST(Json, NonFiniteDoublesRenderAsNull) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.field("nan", std::nan(""));
+  w.field("pos_inf", std::numeric_limits<double>::infinity());
+  w.field("neg_inf", -std::numeric_limits<double>::infinity());
+  w.field("finite", 1.25);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"nan\": null,\"pos_inf\": null,\"neg_inf\": null,"
+            "\"finite\": 1.250000}");
+  expect_valid_jsonish(w.str());
+}
+
+TEST(Json, SingletonAndNonFiniteStatsStayValid) {
+  // A percentage over a zero baseline is the realistic inf/NaN source
+  // (increase_percent when delta_m == 0); stddev of a singleton sample is
+  // defined as 0 by StatAccumulator, so both corners must serialize to
+  // valid JSON.
+  StatAccumulator singleton;
+  singleton.add(4.0);
+  JsonWriter w(2);
+  w.begin_object();
+  w.field("stddev", singleton.stddev());
+  w.field("ratio", std::numeric_limits<double>::infinity() * 100.0);
+  w.field("undefined", std::nan(""));
+  w.end_object();
+  expect_valid_jsonish(w.str());
+  EXPECT_NE(w.str().find("\"ratio\": null"), std::string::npos);
+  EXPECT_NE(w.str().find("\"undefined\": null"), std::string::npos);
+}
+
+// ----------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(101);
+  for (auto& h : hits) h = 0;
+  pool.parallel_for(101, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForOnEmptyAndSingletonRanges) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdleRunEveryJob) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&ran] { ++ran; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A job running on the pool may itself fan out on the same pool: the
+  // caller participates in its own loop, so progress never depends on a
+  // free worker.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ResolveThreadsDefaultsToHardware) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(5), 5u);
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+}
+
+TEST(ThreadPool, SharedPoolIsUsableRepeatedly) {
+  std::atomic<int> ran{0};
+  ThreadPool::shared().parallel_for(16, [&](std::size_t) { ++ran; });
+  ThreadPool::shared().parallel_for(16, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 32);
 }
 
 // ---------------------------------------------------------- error -----
