@@ -26,6 +26,9 @@ int main(int argc, char** argv) try {
                "largest worker count of the sweep (0 = hardware)");
   cli.add_flag("ready", "heap", "engine: heap | linear");
   cli.add_flag("json", "", "dump the last batch as JSON to FILE (- = stdout)");
+  cli.add_flag("json-out", "",
+               "write the throughput sweep (stable schema: threads, wall "
+               "ms, graphs/s, speedup) as JSON to FILE (- = stdout)");
   cli.add_flag("threads", "",
                "run only this worker count instead of the power-of-two "
                "sweep");
@@ -82,6 +85,13 @@ int main(int argc, char** argv) try {
   std::string last_json;
   double base_wall = 0.0;
   bool failed = false;
+  struct SweepPoint {
+    std::size_t threads = 0;
+    double wall_ms = 0.0;
+    double graphs_per_second = 0.0;
+    double speedup = 0.0;
+  };
+  std::vector<SweepPoint> points;
   for (std::size_t threads : sweep) {
     config.threads = threads;
     const BatchResult result = run_batch(config);
@@ -89,6 +99,8 @@ int main(int argc, char** argv) try {
     if (s.ok_count != s.count) failed = true;
     if (threads == 1) base_wall = s.wall_ms;
     const double speedup = s.wall_ms > 0.0 ? base_wall / s.wall_ms : 0.0;
+    points.push_back(
+        SweepPoint{threads, s.wall_ms, s.graphs_per_second, speedup});
     table.cell(static_cast<std::int64_t>(threads))
         .cell(s.wall_ms, 1)
         .cell(s.graphs_per_second, 1)
@@ -104,12 +116,52 @@ int main(int argc, char** argv) try {
   }
 
   const std::string json_path = cli.get_string("json");
-  // With --json - the JSON owns stdout; the human table moves to stderr.
-  std::ostream& human = json_path == "-" ? std::cerr : std::cout;
+  const std::string perf_path = cli.get_string("json-out");
+  if (json_path == "-" && perf_path == "-") {
+    std::cerr << "error: --json - and --json-out - would interleave two "
+                 "JSON documents on stdout; write one of them to a file\n";
+    return 1;
+  }
+  // With --json(-out) - the JSON owns stdout; the human table moves to
+  // stderr.
+  std::ostream& human =
+      json_path == "-" || perf_path == "-" ? std::cerr : std::cout;
   human << "=== S2: batch co-synthesis throughput ===\n\n";
   table.render(human);
   if (!json_path.empty()) {
     if (!JsonWriter::write_output(json_path, last_json)) return 1;
+  }
+  if (!perf_path.empty()) {
+    JsonWriter w(2);
+    w.begin_object();
+    w.field("schema_version", 1);
+    w.field("bench", "bench_batch_throughput");
+    w.key("config").begin_object();
+    w.field("graphs", config.count);
+    w.field("nodes", config.cpg.process_count);
+    w.field("paths", config.cpg.path_count);
+    w.field("seed", config.base_seed);
+    w.field("ready", ready);
+    w.end_object();
+    w.key("sweep").begin_array();
+    for (const SweepPoint& p : points) {
+      w.begin_object();
+      w.field("threads", p.threads);
+      w.field("wall_ms", p.wall_ms);
+      w.field("graphs_per_second", p.graphs_per_second);
+      if (base_wall > 0.0) {
+        w.field("speedup", p.speedup);
+      } else {
+        // No 1-thread point in the sweep (--threads N): there is no
+        // baseline to speak of, and a fabricated 0x would mislead
+        // machine consumers.
+        w.key("speedup").null();
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!JsonWriter::write_output(perf_path, w.str() + "\n")) return 1;
   }
   return failed ? 1 : 0;
 } catch (const cps::ParseError& e) {

@@ -11,7 +11,15 @@
 // (MergeExecution::kSpeculative, --threads workers) against the serial
 // reference on identical inputs, verifies the tables are byte-identical,
 // and reports the wall-clock speedup per cell.
+//
+// --json-out FILE writes the measurements in a stable machine-readable
+// schema (see write_json below); --baseline FILE reads a previous
+// --json-out dump (e.g. the committed BENCH_baseline.json) and reports the
+// schedule+merge speedup of this run against it. The baseline comparison
+// is informational only — it never fails the run, so CI stays robust to
+// host-speed differences.
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -19,6 +27,7 @@
 #include "gen/random_cpg.hpp"
 #include "sched/driver.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
 #include "support/table_format.hpp"
@@ -32,6 +41,110 @@ using clock_type = std::chrono::steady_clock;
 double ms_since(clock_type::time_point t0) {
   return std::chrono::duration<double, std::milli>(clock_type::now() - t0)
       .count();
+}
+
+/// One (nodes, paths) cell of the measurement grid.
+struct CellResult {
+  std::size_t nodes = 0;
+  std::size_t paths = 0;
+  double merge_serial_ms = 0.0;  // mean over the cell's graphs
+  double sched_ms = 0.0;
+  double merge_parallel_ms = 0.0;  // --compare only
+  double conditions_mean = 0.0;
+};
+
+/// Machine-readable dump (schema_version 1): config, per-cell means, and
+/// run totals. BENCH_baseline.json is exactly this schema.
+std::string cells_to_json(const CliParser& cli, bool compare,
+                          std::size_t graphs_per_cell,
+                          const std::vector<CellResult>& cells,
+                          double total_serial_ms, double total_parallel_ms,
+                          double total_sched_ms) {
+  JsonWriter w(2);
+  w.begin_object();
+  w.field("schema_version", 1);
+  w.field("bench", "bench_fig6_merge_time");
+  w.key("config").begin_object();
+  w.field("graphs_per_cell", graphs_per_cell);
+  w.field("seed", cli.get_int("seed"));
+  w.field("nodes", cli.get_string("nodes"));
+  w.field("paths", cli.get_string("paths"));
+  w.field("threads", cli.get_count("threads", 0));
+  w.field("compare", compare);
+  w.end_object();
+  w.key("cells").begin_array();
+  for (const CellResult& cell : cells) {
+    w.begin_object();
+    w.field("nodes", cell.nodes);
+    w.field("paths", cell.paths);
+    w.field("conditions_mean", cell.conditions_mean);
+    w.field("sched_ms", cell.sched_ms);
+    w.field("merge_serial_ms", cell.merge_serial_ms);
+    if (compare) {
+      w.field("merge_parallel_ms", cell.merge_parallel_ms);
+      w.field("speedup", cell.merge_serial_ms /
+                             std::max(cell.merge_parallel_ms, 1e-9));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("totals").begin_object();
+  w.field("sched_ms", total_sched_ms);
+  w.field("merge_serial_ms", total_serial_ms);
+  w.field("sched_plus_merge_ms", total_sched_ms + total_serial_ms);
+  if (compare) {
+    w.field("merge_parallel_ms", total_parallel_ms);
+    w.field("parallel_speedup",
+            total_serial_ms / std::max(total_parallel_ms, 1e-9));
+  }
+  w.end_object();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+/// Report this run against a committed --json-out dump. Informational:
+/// prints the ratio (baseline slower => ratio > 1) and never fails. Only
+/// runs with the baseline's exact workload are compared — a ratio across
+/// different graph counts or sizes would be meaningless.
+void report_against_baseline(std::ostream& os, const std::string& path,
+                             const CliParser& cli,
+                             std::size_t graphs_per_cell, double sched_ms,
+                             double serial_ms) {
+  JsonValue baseline;
+  try {
+    baseline = JsonValue::parse_file(path);
+  } catch (const ParseError& e) {
+    os << "baseline " << path << " not usable (" << e.what()
+              << ") — skipping comparison\n";
+    return;
+  }
+  try {
+    const JsonValue& config = baseline.at("config");
+    const bool same_workload =
+        config.at("graphs_per_cell").as_int() ==
+            static_cast<std::int64_t>(graphs_per_cell) &&
+        config.at("seed").as_int() == cli.get_int("seed") &&
+        config.at("nodes").as_string() == cli.get_string("nodes") &&
+        config.at("paths").as_string() == cli.get_string("paths");
+    if (!same_workload) {
+      os << "baseline " << path
+         << " measures a different workload (graphs="
+         << config.at("graphs_per_cell").as_int() << " seed="
+         << config.at("seed").as_int() << " nodes="
+         << config.at("nodes").as_string() << " paths="
+         << config.at("paths").as_string() << ") — skipping comparison\n";
+      return;
+    }
+    const double base =
+        baseline.at("totals").at("sched_plus_merge_ms").as_number();
+    const double ours = sched_ms + serial_ms;
+    os << "baseline " << path << ": schedule+merge " << format_double(base, 1)
+       << " ms -> " << format_double(ours, 1) << " ms, speedup "
+       << format_double(base / std::max(ours, 1e-9), 2) << "x\n";
+  } catch (const ParseError& e) {
+    os << "baseline " << path << " has an unexpected schema (" << e.what()
+       << ") — skipping comparison\n";
+  }
 }
 
 }  // namespace
@@ -48,6 +161,13 @@ int main(int argc, char** argv) try {
   cli.add_bool("compare",
                "run the speculative parallel merger against the serial "
                "reference, verify identical tables, report speedups");
+  cli.add_flag("json-out", "",
+               "write the measurements (stable schema) as JSON to FILE "
+               "(- = stdout)");
+  cli.add_flag("baseline", "BENCH_baseline.json",
+               "previous --json-out dump to report a speedup against "
+               "(skipped silently when the file does not exist; empty = "
+               "off)");
   if (!cli.parse(argc, argv)) return 0;
   const auto graphs_per_cell = cli.get_count("graphs", 1);
   const auto threads = cli.get_count("threads", 0);
@@ -69,6 +189,8 @@ int main(int argc, char** argv) try {
 
   double total_serial_ms = 0.0;
   double total_parallel_ms = 0.0;
+  double total_sched_ms = 0.0;
+  std::vector<CellResult> cells;
   bool all_identical = true;
 
   // One pool for the whole run: worker spawn/join stays out of the timed
@@ -140,11 +262,18 @@ int main(int argc, char** argv) try {
       }
       mrow.push_back(format_double(merge_ms.mean(), 3));
       srow.push_back(format_double(sched_ms.mean(), 3));
+      CellResult cell;
+      cell.nodes = nodes;
+      cell.paths = paths;
+      cell.merge_serial_ms = merge_ms.mean();
+      cell.sched_ms = sched_ms.mean();
+      if (compare) cell.merge_parallel_ms = parallel_ms.mean();
+      cell.conditions_mean = conditions.mean();
+      cells.push_back(cell);
+      total_serial_ms += merge_ms.mean() * graphs_per_cell;
+      total_sched_ms += sched_ms.mean() * graphs_per_cell;
       if (compare) {
-        const double s = merge_ms.mean() * graphs_per_cell;
-        const double p = parallel_ms.mean() * graphs_per_cell;
-        total_serial_ms += s;
-        total_parallel_ms += p;
+        total_parallel_ms += parallel_ms.mean() * graphs_per_cell;
         prow.push_back(format_double(merge_ms.mean(), 3) + " / " +
                        format_double(parallel_ms.mean(), 3) + " = " +
                        format_double(merge_ms.mean() /
@@ -158,32 +287,51 @@ int main(int argc, char** argv) try {
     if (compare) speedup_table.add_row(prow);
   }
 
-  std::cout << "=== E5: Fig. 6 reproduction (" << graphs_per_cell
-            << " graphs per cell) ===\n\n";
-  merge_time.render(std::cout);
-  std::cout << '\n';
-  sched_time.render(std::cout);
+  // With --json-out - the JSON owns stdout; the human report moves to
+  // stderr (same convention as bench_batch_throughput).
+  std::ostream& human =
+      cli.get_string("json-out") == "-" ? std::cerr : std::cout;
+  human << "=== E5: Fig. 6 reproduction (" << graphs_per_cell
+        << " graphs per cell) ===\n\n";
+  merge_time.render(human);
+  human << '\n';
+  sched_time.render(human);
   if (compare) {
-    std::cout << '\n';
-    speedup_table.render(std::cout);
-    std::cout << "\ntotal merge wall clock: serial "
-              << format_double(total_serial_ms, 1) << " ms, speculative ("
-              << (threads == 0 ? std::string("hardware")
-                               : std::to_string(threads))
-              << " threads) " << format_double(total_parallel_ms, 1)
-              << " ms, speedup "
-              << format_double(total_serial_ms /
-                                   std::max(total_parallel_ms, 1e-9),
-                               2)
-              << "x\n";
-    std::cout << (all_identical
-                      ? "tables: byte-identical across execution modes\n"
-                      : "tables: DIVERGED — see errors above\n");
-    if (!all_identical) return 1;
+    human << '\n';
+    speedup_table.render(human);
+    human << "\ntotal merge wall clock: serial "
+          << format_double(total_serial_ms, 1) << " ms, speculative ("
+          << (threads == 0 ? std::string("hardware")
+                           : std::to_string(threads))
+          << " threads) " << format_double(total_parallel_ms, 1)
+          << " ms, speedup "
+          << format_double(total_serial_ms /
+                               std::max(total_parallel_ms, 1e-9),
+                           2)
+          << "x\n";
+    human << (all_identical
+                  ? "tables: byte-identical across execution modes\n"
+                  : "tables: DIVERGED — see errors above\n");
   }
-  std::cout << "\npaper shape: merge time grows with the number of merged "
-               "schedules (0.05s..0.25s\non a 1998 SPARCstation 20) and "
-               "depends only weakly on the node count.\n";
+
+  const std::string json_path = cli.get_string("json-out");
+  if (!json_path.empty()) {
+    const std::string json =
+        cells_to_json(cli, compare, graphs_per_cell, cells, total_serial_ms,
+                      total_parallel_ms, total_sched_ms);
+    if (!JsonWriter::write_output(json_path, json)) return 1;
+  }
+  const std::string baseline_path = cli.get_string("baseline");
+  if (!baseline_path.empty() && std::ifstream(baseline_path).good()) {
+    human << '\n';
+    report_against_baseline(human, baseline_path, cli, graphs_per_cell,
+                            total_sched_ms, total_serial_ms);
+  }
+
+  if (compare && !all_identical) return 1;
+  human << "\npaper shape: merge time grows with the number of merged "
+           "schedules (0.05s..0.25s\non a 1998 SPARCstation 20) and "
+           "depends only weakly on the node count.\n";
   return 0;
 } catch (const cps::ParseError& e) {
   std::cerr << e.what() << '\n';

@@ -30,6 +30,76 @@ void BM_CubeCompatible(benchmark::State& state) {
 }
 BENCHMARK(BM_CubeCompatible);
 
+void BM_CubeImplies(benchmark::State& state) {
+  const Cube a({Literal{0, true}, Literal{2, false}, Literal{5, true},
+                Literal{9, false}});
+  const Cube b({Literal{2, false}, Literal{5, true}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.implies(b));
+  }
+}
+BENCHMARK(BM_CubeImplies);
+
+void BM_CubeHash(benchmark::State& state) {
+  const Cube a({Literal{0, true}, Literal{2, false}, Literal{5, true},
+                Literal{9, false}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.hash());
+  }
+}
+BENCHMARK(BM_CubeHash);
+
+// Slow-path reference: the same conjoin with every condition shifted past
+// Cube::kPackedBits, exercising the sorted-vector representation the
+// packed fast path is equivalence-tested against.
+void BM_CubeConjoinWide(benchmark::State& state) {
+  const CondId w = Cube::kPackedBits;
+  const Cube a({Literal{static_cast<CondId>(w + 0), true},
+                Literal{static_cast<CondId>(w + 2), false},
+                Literal{static_cast<CondId>(w + 5), true}});
+  const Cube b({Literal{static_cast<CondId>(w + 1), true},
+                Literal{static_cast<CondId>(w + 2), false},
+                Literal{static_cast<CondId>(w + 7), false}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.conjoin(b));
+  }
+}
+BENCHMARK(BM_CubeConjoinWide);
+
+void BM_DnfOrCubeNormalize(benchmark::State& state) {
+  // Subsumption + complementary-merge workload of guard construction.
+  const Dnf base = Dnf(Cube({Literal{0, true}, Literal{1, true}}))
+                       .or_cube(Cube({Literal{0, true}, Literal{2, false}}));
+  const Cube extra({Literal{0, true}, Literal{1, false}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.or_cube(extra));
+  }
+}
+BENCHMARK(BM_DnfOrCubeNormalize);
+
+void BM_DnfAndDnf(benchmark::State& state) {
+  const Dnf a = Dnf(Cube({Literal{0, true}, Literal{1, true}}))
+                    .or_cube(Cube({Literal{0, false}, Literal{2, true}}));
+  const Dnf b = Dnf(Cube(Literal{1, true})).or_cube(Cube(Literal{3, false}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.and_dnf(b));
+  }
+}
+BENCHMARK(BM_DnfAndDnf);
+
+void BM_CoverCacheLookup(benchmark::State& state) {
+  const Dnf guard = Dnf(Cube({Literal{0, true}, Literal{1, true}}))
+                        .or_cube(Cube({Literal{0, true}, Literal{1, false}}))
+                        .or_cube(Cube(Literal{0, false}));
+  const Cube context({Literal{0, true}, Literal{3, false}});
+  CoverCache cache;
+  cache.covered(guard, context);  // warm: the loop measures pure hits
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.covered(guard, context));
+  }
+}
+BENCHMARK(BM_CoverCacheLookup);
+
 void BM_DnfCoveredByContext(benchmark::State& state) {
   // The X_P17-style tautology check.
   const Dnf guard = Dnf(Cube({Literal{0, true}, Literal{1, true}}))

@@ -7,11 +7,11 @@ namespace cps {
 Assignment Assignment::from_cube(const Cube& cube,
                                  std::size_t universe_size) {
   Assignment out(universe_size);
-  for (const Literal& l : cube.literals()) {
+  cube.for_each([&](Literal l) {
     CPS_REQUIRE(l.cond < universe_size,
                 "cube mentions condition outside the universe");
     out.values_[l.cond] = l.value;
-  }
+  });
   return out;
 }
 
@@ -42,10 +42,11 @@ void Assignment::set(CondId cond, bool v) {
 }
 
 bool Assignment::satisfies(const Cube& cube) const {
-  for (const Literal& l : cube.literals()) {
-    if (!satisfies(l)) return false;
-  }
-  return true;
+  bool ok = true;
+  cube.for_each([&](Literal l) {
+    if (ok && !satisfies(l)) ok = false;
+  });
+  return ok;
 }
 
 Cube Assignment::to_cube() const {

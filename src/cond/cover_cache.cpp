@@ -3,39 +3,44 @@
 namespace cps {
 
 std::size_t CoverCache::KeyHash::operator()(const Key& k) const {
-  // FNV-1a over the pointer and the context literals.
-  std::size_t h = 1469598103934665603ull;
-  auto mix = [&h](std::size_t v) {
-    h ^= v;
-    h *= 1099511628211ull;
-  };
-  mix(reinterpret_cast<std::size_t>(k.dnf));
-  for (const Literal& l : k.context.literals()) {
-    mix((static_cast<std::size_t>(l.cond) << 1) | (l.value ? 1u : 0u));
-  }
+  // Mix the guard's address into the context cube's packed hash.
+  std::size_t h = k.context.hash();
+  h ^= reinterpret_cast<std::size_t>(k.dnf);
+  h *= 1099511628211ull;
   return h;
 }
 
+void CoverCache::evict_if_full() {
+  if (size() < max_entries_) return;
+  covered_.clear();
+  disjoint_.clear();
+  ++resets_;
+}
+
 bool CoverCache::covered(const Dnf& dnf, const Cube& context) {
-  const auto [it, inserted] = covered_.try_emplace(Key{&dnf, context}, false);
-  if (inserted) {
-    ++misses_;
-    it->second = dnf.covered_by_context(context);
-  } else {
+  Key key{&dnf, context};
+  if (const auto it = covered_.find(key); it != covered_.end()) {
     ++hits_;
+    return it->second;
   }
-  return it->second;
+  ++misses_;
+  const bool result = dnf.covered_by_context(context);
+  evict_if_full();
+  covered_.emplace(std::move(key), result);
+  return result;
 }
 
 bool CoverCache::disjoint(const Dnf& dnf, const Cube& context) {
-  const auto [it, inserted] = disjoint_.try_emplace(Key{&dnf, context}, false);
-  if (inserted) {
-    ++misses_;
-    it->second = dnf.and_cube(context).is_false();
-  } else {
+  Key key{&dnf, context};
+  if (const auto it = disjoint_.find(key); it != disjoint_.end()) {
     ++hits_;
+    return it->second;
   }
-  return it->second;
+  ++misses_;
+  const bool result = dnf.and_cube(context).is_false();
+  evict_if_full();
+  disjoint_.emplace(std::move(key), result);
+  return result;
 }
 
 void CoverCache::clear() {
@@ -43,6 +48,7 @@ void CoverCache::clear() {
   disjoint_.clear();
   hits_ = 0;
   misses_ = 0;
+  resets_ = 0;
 }
 
 }  // namespace cps

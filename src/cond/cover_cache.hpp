@@ -5,7 +5,13 @@
 // re-asks the same questions for every adjusted path. The set of distinct
 // (guard, context) pairs per co-synthesis is tiny compared to the number
 // of queries, so a hash map keyed by the guard's identity and the context
-// cube turns the repeated Shannon expansions into O(1) lookups.
+// cube turns the repeated Shannon expansions into O(1) lookups. Contexts
+// are packed cubes, so keys are allocation-free and hash in O(1) for
+// models within the 64-condition fast path.
+//
+// The memo map is bounded: when the entry count reaches `max_entries` the
+// map is cleared (a deterministic, query-sequence-driven reset counted in
+// `resets`), so long batch runs cannot grow it without limit.
 //
 // Keys use the *address* of the Dnf: guards live inside FlatGraph's task
 // vector and are stable for the graph's lifetime. The cache must not
@@ -23,8 +29,22 @@
 
 namespace cps {
 
+/// Counter snapshot surfaced through scheduler stats (driver, batch JSON).
+struct CoverCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;  ///< live memo entries at snapshot time
+  std::size_t resets = 0;   ///< size-cap evictions of the whole map
+};
+
 class CoverCache {
  public:
+  /// Default entry cap: ~32 bytes/entry keeps the memo under ~8 MiB.
+  static constexpr std::size_t kDefaultMaxEntries = std::size_t{1} << 18;
+
+  explicit CoverCache(std::size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
   /// Memoized `dnf.covered_by_context(context)`.
   bool covered(const Dnf& dnf, const Cube& context);
 
@@ -32,8 +52,13 @@ class CoverCache {
   bool disjoint(const Dnf& dnf, const Cube& context);
 
   std::size_t size() const { return covered_.size() + disjoint_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
+  std::size_t resets() const { return resets_; }
+  CoverCacheStats stats() const {
+    return CoverCacheStats{hits_, misses_, size(), resets_};
+  }
   void clear();
 
  private:
@@ -50,10 +75,15 @@ class CoverCache {
     std::size_t operator()(const Key& k) const;
   };
 
+  /// Deterministic size-cap enforcement, called before every insert.
+  void evict_if_full();
+
   std::unordered_map<Key, bool, KeyHash> covered_;
   std::unordered_map<Key, bool, KeyHash> disjoint_;
+  std::size_t max_entries_ = kDefaultMaxEntries;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t resets_ = 0;
 };
 
 }  // namespace cps

@@ -11,8 +11,16 @@ namespace {
 // If a and b differ only in the polarity of exactly one condition, return
 // the merged cube with that condition dropped (X&C | X&!C == X).
 std::optional<Cube> merge_complementary(const Cube& a, const Cube& b) {
-  const auto& la = a.literals();
-  const auto& lb = b.literals();
+  if (a.narrow() && b.narrow()) {
+    // Packed fast path: same mentioned conditions, polarities differing in
+    // exactly one bit.
+    if (a.mention_bits() != b.mention_bits()) return std::nullopt;
+    const std::uint64_t flipped = a.pos_bits() ^ b.pos_bits();
+    if (flipped == 0 || (flipped & (flipped - 1)) != 0) return std::nullopt;
+    return a.without(static_cast<CondId>(__builtin_ctzll(flipped)));
+  }
+  const auto la = a.literals();
+  const auto lb = b.literals();
   if (la.size() != lb.size()) return std::nullopt;
   std::optional<CondId> flipped;
   for (std::size_t i = 0; i < la.size(); ++i) {
@@ -102,12 +110,9 @@ Dnf Dnf::and_dnf(const Dnf& other) const {
 bool Dnf::evaluate(const std::function<bool(CondId)>& value) const {
   for (const Cube& c : cubes_) {
     bool sat = true;
-    for (const Literal& l : c.literals()) {
-      if (value(l.cond) != l.value) {
-        sat = false;
-        break;
-      }
-    }
+    c.for_each([&](Literal l) {
+      if (sat && value(l.cond) != l.value) sat = false;
+    });
     if (sat) return true;
   }
   return false;
@@ -127,12 +132,17 @@ bool Dnf::covered_by_context(const Cube& context) const {
   // decided by the context.
   std::optional<CondId> pivot;
   for (const Cube* c : live) {
-    for (const Literal& l : c->literals()) {
-      if (!context.mentions(l.cond)) {
-        pivot = l.cond;
-        break;
-      }
+    const std::uint64_t undecided =
+        c->mention_bits() & ~context.mention_bits();
+    if (undecided != 0) {
+      pivot = static_cast<CondId>(__builtin_ctzll(undecided));
+      break;
     }
+    c->for_each([&](Literal l) {
+      if (!pivot && l.cond >= Cube::kPackedBits && !context.mentions(l.cond)) {
+        pivot = l.cond;
+      }
+    });
     if (pivot) break;
   }
   CPS_ASSERT(pivot.has_value(),
@@ -154,7 +164,7 @@ bool Dnf::implies(const Dnf& other) const {
 std::vector<CondId> Dnf::mentioned_conditions() const {
   std::vector<CondId> out;
   for (const Cube& c : cubes_) {
-    for (const Literal& l : c.literals()) out.push_back(l.cond);
+    c.for_each([&out](Literal l) { out.push_back(l.cond); });
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

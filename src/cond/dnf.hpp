@@ -5,22 +5,31 @@
 // e.g. X_P17 = (D&K) | (D&!K) | !D = true), so a cube is not enough.
 // The class keeps a modest normal form: contradictions dropped, subsumed
 // cubes absorbed, complementary pairs merged (X&C | X&!C -> X).
+//
+// Guards mention a handful of conditions, so the cube list lives in
+// small-buffer storage (no heap allocation up to kInlineCubes cubes) and
+// the normalization passes run on the cubes' packed masks.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "cond/cube.hpp"
+#include "support/small_vector.hpp"
 
 namespace cps {
 
 class Dnf {
  public:
+  /// Cubes stored inline before the list spills to the heap.
+  static constexpr std::size_t kInlineCubes = 2;
+  using CubeList = SmallVector<Cube, kInlineCubes>;
+
   /// Constant false (empty disjunction).
   Dnf() = default;
 
   /// Single-cube DNF.
-  explicit Dnf(const Cube& cube) : cubes_{cube} {}
+  explicit Dnf(const Cube& cube) { cubes_.push_back(cube); }
 
   static Dnf constant(bool value) {
     return value ? Dnf(Cube::top()) : Dnf();
@@ -35,7 +44,7 @@ class Dnf {
     return cubes_.size() == 1 && cubes_.front().is_true();
   }
 
-  const std::vector<Cube>& cubes() const { return cubes_; }
+  const CubeList& cubes() const { return cubes_; }
 
   /// Disjunction with a cube / another DNF (normalizing).
   Dnf or_cube(const Cube& cube) const;
@@ -82,7 +91,7 @@ class Dnf {
  private:
   void normalize();
 
-  std::vector<Cube> cubes_;  // sorted, pairwise non-subsuming
+  CubeList cubes_;  // sorted, pairwise non-subsuming
 };
 
 }  // namespace cps

@@ -22,6 +22,7 @@
 #include "cpg/cpg.hpp"
 #include "cpg/paths.hpp"
 #include "graph/digraph.hpp"
+#include "support/error.hpp"
 
 namespace cps {
 
@@ -56,18 +57,21 @@ struct Task {
 };
 
 /// Bitmask view of one cube of a guard (valid when every condition id the
-/// model uses is < 64, which holds for all paper-scale workloads).
+/// model uses is < Cube::kPackedBits = 64, which holds for all paper-scale
+/// workloads). Cubes carry this representation inline, so the view is a
+/// plain copy of their packed words.
 struct GuardCubeMask {
   std::uint64_t pos = 0;  ///< conditions required true
   std::uint64_t neg = 0;  ///< conditions required false
 
-  /// Bitmask encoding of an explicit cube (condition ids must be < 64).
+  /// Bitmask encoding of a cube. The cube must be narrow (condition ids
+  /// < 64); callers gate on FlatGraph::masks_enabled().
   static GuardCubeMask of_cube(const Cube& cube) {
-    GuardCubeMask mask;
-    for (const Literal& l : cube.literals()) {
-      (l.value ? mask.pos : mask.neg) |= std::uint64_t{1} << l.cond;
-    }
-    return mask;
+    CPS_ASSERT(cube.narrow(),
+               "guard masks require condition ids < 64 (Cube::kPackedBits); "
+               "models beyond that take the masks_enabled()==false slow "
+               "path");
+    return GuardCubeMask{cube.pos_bits(), cube.neg_bits()};
   }
 
   std::uint64_t mention() const { return pos | neg; }

@@ -56,6 +56,18 @@ std::optional<AltPath> PathEnumerator::next() {
   return std::nullopt;
 }
 
+PathLabelMasks collect_label_masks(const std::vector<AltPath>& paths) {
+  PathLabelMasks out;
+  out.pos.reserve(paths.size());
+  out.neg.reserve(paths.size());
+  for (const AltPath& p : paths) {
+    out.pos.push_back(p.label.pos_bits());
+    out.neg.push_back(p.label.neg_bits());
+    out.narrow = out.narrow && p.label.narrow();
+  }
+  return out;
+}
+
 std::vector<AltPath> enumerate_paths(const Cpg& g) {
   std::vector<AltPath> out;
   PathEnumerator en(g);

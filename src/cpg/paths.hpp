@@ -62,6 +62,30 @@ class PathEnumerator {
   std::size_t produced_ = 0;
 };
 
+/// Packed per-path label masks, one (pos, neg) word pair per AltPath.
+/// The merge's reachability and conflict-set walks test thousands of
+/// label/context pairs; with the masks in two contiguous arrays each test
+/// is two AND/CMP pairs over hot cache lines. `narrow` is false when some
+/// label mentions a condition id >= Cube::kPackedBits — consumers must
+/// then fall back to the exact Cube operations.
+struct PathLabelMasks {
+  std::vector<std::uint64_t> pos;
+  std::vector<std::uint64_t> neg;
+  bool narrow = true;
+
+  std::size_t size() const { return pos.size(); }
+
+  /// Mask test for `labels[i].compatible(context)` (valid when narrow and
+  /// the context itself is narrow).
+  bool compatible(std::size_t i, std::uint64_t ctx_pos,
+                  std::uint64_t ctx_neg) const {
+    return (pos[i] & ctx_neg) == 0 && (neg[i] & ctx_pos) == 0;
+  }
+};
+
+/// Collect the packed label masks of a path set.
+PathLabelMasks collect_label_masks(const std::vector<AltPath>& paths);
+
 /// Enumerate every alternative path of the graph by draining a
 /// PathEnumerator into a vector (see the class for the order guarantee).
 std::vector<AltPath> enumerate_paths(const Cpg& g);

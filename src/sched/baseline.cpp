@@ -15,7 +15,7 @@ ObliviousResult oblivious_schedule(const FlatGraph& fg,
   req.priority = compute_priorities(fg, req.active, policy);
   req.enforce_knowledge = false;
 
-  EngineResult res = run_list_scheduler(fg, std::move(req));
+  EngineResult res = run_list_scheduler(fg, req);
   CPS_ASSERT(res.feasible,
              "oblivious schedule must be feasible: " + res.reason);
   ObliviousResult out;

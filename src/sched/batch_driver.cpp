@@ -79,6 +79,12 @@ void write_item(JsonWriter& w, const BatchItem& item,
   w.field("speculative_hits", item.merge.speculative_hits);
   w.field("speculative_misses", item.merge.speculative_misses);
   w.end_object();
+  w.key("cover_cache").begin_object();
+  w.field("hits", item.cover_cache.hits);
+  w.field("misses", item.cover_cache.misses);
+  w.field("entries", item.cover_cache.entries);
+  w.field("resets", item.cover_cache.resets);
+  w.end_object();
   if (options.include_timing) {
     w.key("timing_ms").begin_object();
     w.field("expand", item.expand_ms);
@@ -116,6 +122,7 @@ BatchItem run_batch_item(const BatchConfig& config, std::size_t index) {
     item.delta_max = result.delays.delta_max;
     item.increase_percent = result.delays.increase_percent;
     item.merge = result.merge_stats;
+    item.cover_cache = result.cover_cache;
     item.expand_ms = result.timings.expand_ms;
     item.enumerate_ms = result.timings.enumerate_ms;
     item.schedule_ms = result.timings.schedule_ms;

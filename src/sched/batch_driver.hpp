@@ -50,6 +50,10 @@ struct BatchItem {
   Time delta_max = 0;
   double increase_percent = 0.0;
   MergeStats merge;
+  /// Per-path scheduling cover-cache counters (deterministic per seed; the
+  /// merge's own cache is timing-dependent under speculative execution and
+  /// deliberately not exported here).
+  CoverCacheStats cover_cache;
 
   // Wall-clock per pipeline stage (milliseconds).
   double expand_ms = 0.0;

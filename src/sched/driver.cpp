@@ -80,6 +80,7 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
                            std::move(schedules),
                            std::move(merged.table),
                            merged.stats,
+                           cover_cache.stats(),
                            std::move(delays),
                            timings};
 }

@@ -46,6 +46,10 @@ struct CoSynthesisResult {
   std::vector<PathSchedule> path_schedules;
   ScheduleTable table;
   MergeStats merge_stats;
+  /// Counters of the per-path scheduling cover cache (guard coverage
+  /// memoization). Deterministic: the per-path loop is serial, so the
+  /// counters are a pure function of the input graph and options.
+  CoverCacheStats cover_cache;
   DelayReport delays;
   StageTimings timings;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <utility>
 
 #include "support/error.hpp"
 
@@ -113,8 +114,15 @@ class Engine {
   std::vector<std::vector<Time>> known_;
   std::size_t remaining_ = 0;
 
+  // Per-resource "executes one task at a time" flags, cached once per run
+  // (Architecture::pe() bounds-checks on every call; the hot loops ask
+  // hundreds of thousands of times per merge).
+  std::vector<char> seq_;
+
   // Heap-mode state. Knowledge doubles as per-resource bitmasks over the
   // path label so guard coverage is a couple of AND/CMP instructions.
+  // When the masks are exact (condition count <= 64) the time matrix
+  // known_ is not maintained at all in heap mode.
   bool use_masks_ = false;
   std::vector<std::uint64_t> known_pos_;  // by PeId
   std::vector<std::uint64_t> known_neg_;  // by PeId
@@ -277,15 +285,10 @@ bool Engine::try_starts_reference(Time now) {
 // Heap engine (kHeap).
 
 Cube Engine::known_context(PeId res, std::uint64_t mention) const {
-  std::vector<Literal> lits;
-  std::uint64_t rel = (known_pos_[res] | known_neg_[res]) & mention;
-  while (rel != 0) {
-    const int c = __builtin_ctzll(rel);
-    rel &= rel - 1;
-    lits.push_back(Literal{static_cast<CondId>(c),
-                           ((known_pos_[res] >> c) & 1) != 0});
-  }
-  return Cube(lits);
+  // The knowledge words and the cube share the packed representation, so
+  // the context is two masked copies — no literal vector, no allocation.
+  return Cube::from_masks(known_pos_[res] & mention,
+                          known_neg_[res] & mention);
 }
 
 Cube Engine::known_context_full(PeId res) const {
@@ -356,7 +359,7 @@ bool Engine::knowledge_ok_fast(TaskId t, PeId res) const {
 
 bool Engine::fits_fast(PeId res, Time now, Time dur) const {
   if (req_.locks.empty()) return true;
-  if (!fg_.arch().pe(res).sequential()) return true;
+  if (!seq_[res]) return true;
   for (TaskId t : locks_on_res_[res]) {
     if (started_[t]) continue;
     const TaskLock& l = *req_.locks[t];
@@ -376,7 +379,7 @@ void Engine::enqueue_ready(TaskId t) {
   if (!active(t) || started_[t] || locked(t)) return;
   const Task& task = fg_.task(t);
   if (task.is_broadcast()) return;
-  if (fg_.arch().pe(task.resource).sequential()) {
+  if (seq_[task.resource]) {
     ready_[task.resource].push(ReadyEntry{req_.priority[t], t});
   } else {
     hw_ready_.push_back(t);
@@ -393,7 +396,7 @@ bool Engine::try_starts_heap(Time now) {
     if (!deps_done(t, now)) continue;
     const PeId res = lock(t).resource;
     if (!knowledge_ok_fast(t, res)) continue;
-    if (fg_.arch().pe(res).sequential() && busy_until_[res] > now) continue;
+    if (seq_[res] && busy_until_[res] > now) continue;
     start_task(t, now, res);
     any = true;
   }
@@ -429,7 +432,7 @@ bool Engine::try_starts_heap(Time now) {
   //    (a zero-duration chain may have changed the knowledge state).
   std::vector<ReadyEntry> deferred;
   for (PeId res : fg_.used_resources()) {
-    if (!fg_.arch().pe(res).sequential()) continue;
+    if (!seq_[res]) continue;
     ReadyHeap& heap = ready_[res];
     deferred.clear();
     while (busy_until_[res] <= now && !heap.empty()) {
@@ -480,7 +483,7 @@ void Engine::start_task(TaskId t, Time now, PeId res) {
     complete_task(t, now);
     return;
   }
-  if (fg_.arch().pe(res).sequential()) {
+  if (seq_[res]) {
     busy_until_[res] = now + dur;
   }
   running_.push_back(t);
@@ -500,14 +503,19 @@ void Engine::complete_task(TaskId t, Time now) {
     dep_ready_[succ] = std::max(dep_ready_[succ], now);
     if (heap && pending_[succ] == 0) enqueue_ready(succ);
   }
-  // Knowledge updates.
+  // Knowledge updates. With exact masks the per-resource words are the
+  // whole knowledge state (the known_ time matrix is not even allocated);
+  // otherwise the time matrix drives the known_context fallbacks.
   const auto learn = [this](PeId res, CondId c, Time when) {
-    known_[res][c] = std::min(known_[res][c], when);
     if (use_masks_) {
+      // The per-resource words are the whole knowledge state; the known_
+      // time matrix is not even allocated in this mode.
       if (const auto value = req_.label.value_of(c)) {
         (*value ? known_pos_ : known_neg_)[res] |= std::uint64_t{1} << c;
       }
+      return;
     }
+    known_[res][c] = std::min(known_[res][c], when);
   };
   if (task.computes) {
     const CondId c = *task.computes;
@@ -546,8 +554,15 @@ EngineResult Engine::run() {
   started_.assign(n, false);
   finished_.assign(n, false);
   busy_until_.assign(fg_.arch().pe_count(), -1);
-  known_.assign(fg_.arch().pe_count(),
-                std::vector<Time>(fg_.cpg().conditions().size(), kInf));
+  seq_.resize(fg_.arch().pe_count());
+  for (PeId r = 0; r < fg_.arch().pe_count(); ++r) {
+    seq_[r] = fg_.arch().pe(r).sequential() ? 1 : 0;
+  }
+  use_masks_ = heap_mode() && fg_.masks_enabled();
+  if (!use_masks_) {
+    known_.assign(fg_.arch().pe_count(),
+                  std::vector<Time>(fg_.cpg().conditions().size(), kInf));
+  }
   remaining_ = 0;
   for (TaskId t = 0; t < n; ++t) {
     if (!active(t)) continue;
@@ -558,7 +573,6 @@ EngineResult Engine::run() {
   }
 
   if (heap_mode()) {
-    use_masks_ = fg_.masks_enabled();
     known_pos_.assign(fg_.arch().pe_count(), 0);
     known_neg_.assign(fg_.arch().pe_count(), 0);
     ready_.assign(fg_.arch().pe_count(), ReadyHeap());
@@ -638,8 +652,9 @@ EngineResult Engine::run() {
 
 }  // namespace
 
-EngineResult run_list_scheduler(const FlatGraph& fg, EngineRequest request) {
-  Engine engine(fg, std::move(request));
+EngineResult run_list_scheduler(const FlatGraph& fg,
+                                const EngineRequest& request) {
+  Engine engine(fg, request);
   return engine.run();
 }
 
@@ -652,7 +667,7 @@ PathSchedule schedule_path(const FlatGraph& fg, const AltPath& path,
   req.priority = compute_priorities(fg, req.active, policy, rng);
   req.selection = selection;
   req.cover_cache = cover_cache;
-  EngineResult res = run_list_scheduler(fg, std::move(req));
+  EngineResult res = run_list_scheduler(fg, req);
   CPS_ASSERT(res.feasible,
              "validated CPG path must be schedulable: " + res.reason);
   return std::move(res.schedule);

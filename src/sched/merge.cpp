@@ -177,6 +177,8 @@ class Merger {
   /// Per-path active-task vectors, computed once per path on demand.
   std::vector<std::vector<bool>> active_cache_;
   std::vector<bool> active_cached_;
+  /// Packed per-path label masks for the reachability walks.
+  PathLabelMasks label_masks_;
 
   /// Speculation state (kSpeculative only).
   bool speculative_ = false;
@@ -199,6 +201,16 @@ const std::vector<bool>& Merger::active_of(std::size_t path) {
 
 std::vector<std::size_t> Merger::reachable_under(const Cube& decided) const {
   std::vector<std::size_t> out;
+  if (label_masks_.narrow && decided.narrow()) {
+    // Hot path of the decision-tree walk: two word tests per path over
+    // contiguous mask arrays.
+    const std::uint64_t pos = decided.pos_bits();
+    const std::uint64_t neg = decided.neg_bits();
+    for (std::size_t i = 0; i < label_masks_.size(); ++i) {
+      if (label_masks_.compatible(i, pos, neg)) out.push_back(i);
+    }
+    return out;
+  }
   for (std::size_t i = 0; i < paths_.size(); ++i) {
     if (paths_[i].label.compatible(decided)) out.push_back(i);
   }
@@ -231,10 +243,13 @@ std::size_t Merger::select(const std::vector<std::size_t>& reachable) {
 Cube Merger::column_for(const PathSchedule& s, const Cube& label,
                         TaskId t) const {
   const Slot& slot = s.slot(t);
+  // The column is a sub-cube of the (packed) label, so it is built
+  // directly in packed form: one conjoin per known literal, each a couple
+  // of word operations.
   Cube col;
-  for (const Literal& lit : label.literals()) {
+  label.for_each([&](Literal lit) {
     const TaskId disj = fg_.disjunction_task(lit.cond);
-    if (!s.scheduled(disj)) continue;
+    if (!s.scheduled(disj)) return;
     Time known_time;
     if (s.slot(disj).resource == slot.resource) {
       known_time = s.slot(disj).end;
@@ -244,7 +259,7 @@ Cube Merger::column_for(const PathSchedule& s, const Cube& label,
       // scheduled broadcast the value never reaches this PE — treating it
       // as known here used to fix start times in columns the resource
       // cannot distinguish yet.
-      if (!s.scheduled(*bcast)) continue;
+      if (!s.scheduled(*bcast)) return;
       known_time = s.slot(*bcast).end;
     } else {
       // Single-resource models: a value is visible everywhere as soon as
@@ -256,7 +271,7 @@ Cube Merger::column_for(const PathSchedule& s, const Cube& label,
       CPS_ASSERT(next.has_value(), "label literals cannot contradict");
       col = std::move(*next);
     }
-  }
+  });
   return col;
 }
 
@@ -470,20 +485,23 @@ void Merger::dfs(const Cube& decided, std::size_t cur,
 
   // Next undecided condition to be computed according to the current
   // schedule (the next node of the decision tree on this branch).
+  // for_each visits literals in increasing condition order, matching the
+  // historical iteration (earliest end wins; smallest condition id on
+  // ties).
   Time tau = kInf;
   CondId next_cond = 0;
   bool branching = false;
-  for (const Literal& lit : label.literals()) {
-    if (decided.mentions(lit.cond)) continue;
+  label.for_each([&](Literal lit) {
+    if (decided.mentions(lit.cond)) return;
     const TaskId disj = fg_.disjunction_task(lit.cond);
-    if (!sched.scheduled(disj)) continue;
+    if (!sched.scheduled(disj)) return;
     const Time end = sched.slot(disj).end;
     if (!branching || end < tau || (end == tau && lit.cond < next_cond)) {
       tau = end;
       next_cond = lit.cond;
       branching = true;
     }
-  }
+  });
 
   // Fix start times from the current schedule into the table, up to the
   // branching moment (everything, on a leaf).
@@ -545,6 +563,7 @@ MergeResult Merger::run() {
     }
   }
 
+  label_masks_ = collect_label_masks(paths_);
   deltas_.resize(paths_.size());
   for (std::size_t i = 0; i < paths_.size(); ++i) {
     deltas_[i] = scheds_[i].delay(fg_);
@@ -554,7 +573,7 @@ MergeResult Merger::run() {
   const std::size_t cur = select(all);
   dfs(Cube::top(), cur, scheds_[cur],
       std::vector<bool>(fg_.task_count(), false));
-  return MergeResult{std::move(table_), stats_};
+  return MergeResult{std::move(table_), stats_, cache_.stats()};
 }
 
 }  // namespace

@@ -119,6 +119,11 @@ struct MergeStats {
 struct MergeResult {
   ScheduleTable table;
   MergeStats stats;
+  /// Walking-thread cover-cache counters. Deterministic under kSerial; in
+  /// speculative runs the inline-vs-worker split depends on timing, so
+  /// these counters (unlike everything in `stats`) may vary with thread
+  /// count and are excluded from byte-identical outputs.
+  CoverCacheStats cover_cache;
 };
 
 /// Merge the per-path schedules into a schedule table. `paths` and

@@ -11,32 +11,55 @@ ScheduleTable::ScheduleTable(const FlatGraph& fg)
 
 const std::vector<TableEntry>& ScheduleTable::row(TaskId t) const {
   CPS_REQUIRE(t < rows_.size(), "task id out of range");
-  return rows_[t];
+  return rows_[t].entries;
 }
 
 AddEntryResult ScheduleTable::add_entry(TaskId t, const Cube& column,
                                         Time start, PeId resource) {
   CPS_REQUIRE(t < rows_.size(), "task id out of range");
   CPS_REQUIRE(start >= 0, "activation times are non-negative");
-  for (const TableEntry& e : rows_[t]) {
-    if (e.column == column) {
-      if (e.start == start && e.resource == resource) {
-        return AddEntryResult::kDuplicate;
-      }
-      return AddEntryResult::kClash;
+  Row& row = rows_[t];
+  const auto it = row.by_column.find(column);
+  if (it != row.by_column.end()) {
+    const TableEntry& e = row.entries[it->second];
+    if (e.start == start && e.resource == resource) {
+      return AddEntryResult::kDuplicate;
     }
+    return AddEntryResult::kClash;
   }
-  rows_[t].push_back(TableEntry{column, start, resource});
+  row.by_column.emplace(column,
+                        static_cast<std::uint32_t>(row.entries.size()));
+  row.entries.push_back(TableEntry{column, start, resource});
+  row.mention_union |= column.mention_bits();
+  row.all_narrow = row.all_narrow && column.narrow();
   return AddEntryResult::kAdded;
 }
 
 std::vector<TableEntry> ScheduleTable::conflicting_entries(
     TaskId t, const Cube& column, Time start, PeId resource) const {
+  CPS_REQUIRE(t < rows_.size(), "task id out of range");
+  const Row& row = rows_[t];
   std::vector<TableEntry> out;
-  for (const TableEntry& e : row(t)) {
-    if (!e.column.compatible(column)) continue;
-    if (e.start == start && e.resource == resource) continue;
-    out.push_back(e);
+  if (row.all_narrow && column.narrow()) {
+    // A column sharing no mentioned condition with `column` is trivially
+    // compatible; the union mask cannot rule the row out, but it skips the
+    // per-entry incompatibility masks when no overlap exists at all.
+    const std::uint64_t pos = column.pos_bits();
+    const std::uint64_t neg = column.neg_bits();
+    for (const TableEntry& e : row.entries) {
+      if ((e.column.pos_bits() & neg) != 0 ||
+          (e.column.neg_bits() & pos) != 0) {
+        continue;  // incompatible: opposite literal
+      }
+      if (e.start == start && e.resource == resource) continue;
+      out.push_back(e);
+    }
+  } else {
+    for (const TableEntry& e : row.entries) {
+      if (!e.column.compatible(column)) continue;
+      if (e.start == start && e.resource == resource) continue;
+      out.push_back(e);
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const TableEntry& a, const TableEntry& b) {
@@ -48,8 +71,29 @@ std::vector<TableEntry> ScheduleTable::conflicting_entries(
 
 std::vector<TableEntry> ScheduleTable::matching(TaskId t,
                                                 const Cube& label) const {
+  CPS_REQUIRE(t < rows_.size(), "task id out of range");
+  const Row& row = rows_[t];
   std::vector<TableEntry> out;
-  for (const TableEntry& e : row(t)) {
+  if (row.all_narrow && label.narrow()) {
+    // Row-level prefilter: a label deciding none of the conditions the
+    // row's columns mention can only match the unconditional column.
+    const std::uint64_t pos = label.pos_bits();
+    const std::uint64_t neg = label.neg_bits();
+    if ((row.mention_union & (pos | neg)) == 0) {
+      const auto it = row.by_column.find(Cube::top());
+      if (it != row.by_column.end()) out.push_back(row.entries[it->second]);
+      return out;
+    }
+    for (const TableEntry& e : row.entries) {
+      if ((e.column.pos_bits() & ~pos) != 0 ||
+          (e.column.neg_bits() & ~neg) != 0) {
+        continue;  // label does not imply the column
+      }
+      out.push_back(e);
+    }
+    return out;
+  }
+  for (const TableEntry& e : row.entries) {
     if (label.implies(e.column)) out.push_back(e);
   }
   return out;
@@ -73,8 +117,8 @@ std::optional<TableEntry> ScheduleTable::activation(
 
 std::vector<Cube> ScheduleTable::columns() const {
   std::vector<Cube> out;
-  for (const auto& row : rows_) {
-    for (const TableEntry& e : row) out.push_back(e.column);
+  for (const Row& row : rows_) {
+    for (const TableEntry& e : row.entries) out.push_back(e.column);
   }
   std::sort(out.begin(), out.end(), [](const Cube& a, const Cube& b) {
     if (a.size() != b.size()) return a.size() < b.size();
@@ -86,8 +130,18 @@ std::vector<Cube> ScheduleTable::columns() const {
 
 std::size_t ScheduleTable::entry_count() const {
   std::size_t n = 0;
-  for (const auto& row : rows_) n += row.size();
+  for (const Row& row : rows_) n += row.entries.size();
   return n;
+}
+
+bool operator==(const ScheduleTable& a, const ScheduleTable& b) {
+  // Cell-wise: rows, order and every entry field. The index structures are
+  // derived data and deliberately excluded.
+  if (a.rows_.size() != b.rows_.size()) return false;
+  for (std::size_t t = 0; t < a.rows_.size(); ++t) {
+    if (a.rows_[t].entries != b.rows_[t].entries) return false;
+  }
+  return true;
 }
 
 }  // namespace cps

@@ -4,9 +4,19 @@
 // broadcast); each cell holds an activation time valid when the cube
 // heading its column is true. The coherence requirements 1-4 of paper §3
 // are checked by sched/table_validate.hpp.
+//
+// Lookup structure: each row keeps its entries in insertion order (the
+// deterministic order the merge produces and every equivalence guarantee
+// compares) plus a hash index keyed on the packed column cube, so
+// add_entry's exact-column lookup is O(1), and a union of the columns'
+// mention masks, so matching/activation/conflict scans prefilter whole
+// rows with a word test before touching individual entries. Tests
+// re-derive every query by scanning row() and compare.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cpg/flat_graph.hpp"
@@ -77,16 +87,26 @@ class ScheduleTable {
   /// Cell-wise equality (rows, order and every entry field) — the
   /// canonical check behind the "byte-identical tables" guarantees of the
   /// speculative merger. Ignores which FlatGraph instance is referenced.
-  friend bool operator==(const ScheduleTable& a, const ScheduleTable& b) {
-    return a.rows_ == b.rows_;
-  }
+  friend bool operator==(const ScheduleTable& a, const ScheduleTable& b);
   friend bool operator!=(const ScheduleTable& a, const ScheduleTable& b) {
     return !(a == b);
   }
 
  private:
+  struct Row {
+    /// Cells in insertion order — the externally visible row.
+    std::vector<TableEntry> entries;
+    /// Exact-match index: column cube -> position in `entries`.
+    std::unordered_map<Cube, std::uint32_t> by_column;
+    /// Union of the packed mention masks of every column in the row.
+    std::uint64_t mention_union = 0;
+    /// All columns narrow (packed-only)? Cleared by a >64-condition
+    /// universe; the mask prefilters are skipped then.
+    bool all_narrow = true;
+  };
+
   const FlatGraph* fg_;
-  std::vector<std::vector<TableEntry>> rows_;
+  std::vector<Row> rows_;
 };
 
 }  // namespace cps

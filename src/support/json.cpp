@@ -1,9 +1,12 @@
 #include "support/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <iterator>
+#include <system_error>
 
 #include "support/error.hpp"
 
@@ -154,6 +157,273 @@ JsonWriter& JsonWriter::null() {
   comma_and_newline();
   out_ += "null";
   return *this;
+}
+
+// ----------------------------------------------------------- JsonValue --
+
+struct JsonValue::Parser {
+  /// Containers nest by recursion; bound the depth so corrupt input (a
+  /// truncated file of '[' bytes, say) raises ParseError instead of
+  /// overflowing the stack.
+  static constexpr int kMaxDepth = 256;
+
+  const std::string& text;
+  std::size_t pos = 0;
+  int depth = 0;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("JSON parse error at offset " + std::to_string(pos) +
+                     ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', found '" + text[pos] + "'");
+    }
+    ++pos;
+  }
+
+  bool consume_keyword(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text.compare(pos, len, word) != 0) return false;
+    pos += len;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (the writer only emits
+          // \u00xx control escapes; surrogate pairs are out of scope).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    JsonValue out;
+    if (c == '{') {
+      if (++depth > kMaxDepth) fail("nesting too deep");
+      ++pos;
+      out.kind_ = Kind::kObject;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        --depth;
+        return out;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        out.members_.emplace_back(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        --depth;
+        return out;
+      }
+    }
+    if (c == '[') {
+      if (++depth > kMaxDepth) fail("nesting too deep");
+      ++pos;
+      out.kind_ = Kind::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        --depth;
+        return out;
+      }
+      while (true) {
+        out.items_.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        --depth;
+        return out;
+      }
+    }
+    if (c == '"') {
+      out.kind_ = Kind::kString;
+      out.string_ = parse_string();
+      return out;
+    }
+    if (consume_keyword("true")) {
+      out.kind_ = Kind::kBool;
+      out.bool_ = true;
+      return out;
+    }
+    if (consume_keyword("false")) {
+      out.kind_ = Kind::kBool;
+      out.bool_ = false;
+      return out;
+    }
+    if (consume_keyword("null")) return out;
+    // Number.
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < text.size() &&
+           ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+            text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) fail("unexpected character");
+    const std::string token = text.substr(start, pos - start);
+#if defined(__cpp_lib_to_chars)
+    // Locale-independent: '.' is the decimal separator regardless of the
+    // process locale (std::stod would reject "1.5" under e.g. de_DE).
+    const char* token_end = token.data() + token.size();
+    const auto [parse_end, ec] =
+        std::from_chars(token.data(), token_end, out.number_);
+    if (ec != std::errc() || parse_end != token_end) {
+      fail("malformed number '" + token + "'");
+    }
+#else
+    std::size_t used = 0;
+    try {
+      out.number_ = std::stod(token, &used);
+    } catch (const std::exception&) {
+      fail("malformed number '" + token + "'");
+    }
+    if (used != token.size()) fail("malformed number '" + token + "'");
+#endif
+    out.kind_ = Kind::kNumber;
+    return out;
+  }
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  Parser parser{text};
+  JsonValue out = parser.parse_value();
+  parser.skip_ws();
+  if (parser.pos != text.size()) parser.fail("trailing content");
+  return out;
+}
+
+JsonValue JsonValue::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot read JSON file: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return parse(text);
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw ParseError("JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) throw ParseError("JSON value is not a number");
+  return number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  return static_cast<std::int64_t>(as_number());
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) throw ParseError("JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) throw ParseError("JSON value is not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) {
+    throw ParseError("JSON value is not an object");
+  }
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* found = find(key);
+  if (found == nullptr) {
+    throw ParseError("missing JSON object member: " + key);
+  }
+  return *found;
 }
 
 }  // namespace cps

@@ -1,15 +1,19 @@
-// Minimal deterministic JSON writer.
+// Minimal deterministic JSON writer and a small recursive-descent reader.
 //
 // The batch experiment driver emits machine-readable results consumed by
 // the benchmark harness and external tooling; determinism ("same seed,
 // byte-identical output") is part of the contract, so numbers are
 // formatted with fixed rules (no locale, fixed precision for doubles) and
-// keys appear exactly in emission order.
+// keys appear exactly in emission order. JsonValue parses those files back
+// (e.g. the committed BENCH_baseline.json the perf benches compare
+// against) — it accepts any standard JSON, not just our own output.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace cps {
@@ -79,6 +83,51 @@ class JsonWriter {
   // nesting level).
   std::vector<bool> has_member_{false};
   bool after_key_ = false;
+};
+
+/// Parsed JSON document. Throws cps::ParseError on malformed input or on
+/// accessing a value as the wrong kind. Object member order is preserved.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse a complete JSON document (trailing garbage is an error).
+  static JsonValue parse(const std::string& text);
+
+  /// parse() over the contents of `path`; ParseError if unreadable.
+  static JsonValue parse_file(const std::string& path);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  /// Array elements (ParseError unless an array).
+  const std::vector<JsonValue>& items() const;
+
+  /// Object members in document order (ParseError unless an object).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+
+  /// Object member lookup; ParseError when absent.
+  const JsonValue& at(const std::string& key) const;
+
+ private:
+  struct Parser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
 }  // namespace cps

@@ -1,0 +1,195 @@
+// SmallVector: a dynamic array with inline storage for the first N
+// elements. Guard DNFs hold one or two cubes almost always, so keeping
+// them inline removes a heap allocation from every Dnf copy and makes
+// CoverCache keys allocation-free for paper-scale models.
+//
+// Deliberately minimal: contiguous storage, the std::vector subset the
+// condition algebra needs (push_back, erase, iteration, comparison), and
+// nothing else. Elements must be copyable; iterators are plain pointers
+// so std:: algorithms (sort, unique, erase idiom) work unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace cps {
+
+template <typename T, std::size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) { append(other); }
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      append(other);
+    }
+    return *this;
+  }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      release_heap();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() {
+    clear();
+    release_heap();
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      // The arguments may alias an element of this vector (v.push_back(
+      // v[0]) is legal on std::vector); materialize the new value before
+      // grow() destroys the old storage.
+      T value(std::forward<Args>(args)...);
+      grow(capacity_ * 2);
+      T* slot = data_ + size_;
+      ::new (static_cast<void*>(slot)) T(std::move(value));
+      ++size_;
+      return *slot;
+    }
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  iterator erase(const_iterator pos) { return erase(pos, pos + 1); }
+
+  iterator erase(const_iterator first, const_iterator last) {
+    T* result = begin() + (first - begin());
+    if (first == last) return result;  // std::vector parity: a no-op
+    T* dst = result;
+    T* src = begin() + (last - begin());
+    while (src != end()) *dst++ = std::move(*src++);
+    while (end() != dst) pop_back();
+    return result;
+  }
+
+  /// Range insert. As with std::vector, [first, last) must not point
+  /// into this container.
+  template <typename It>
+  void insert(const_iterator pos, It first, It last) {
+    const std::size_t at = static_cast<std::size_t>(pos - begin());
+    const std::size_t count = static_cast<std::size_t>(last - first);
+    reserve(size_ + count);
+    for (It it = first; it != last; ++it) push_back(*it);
+    std::rotate(begin() + at, end() - count, end());
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const SmallVector& a, const SmallVector& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  T* inline_data() { return reinterpret_cast<T*>(inline_storage_); }
+  bool on_heap() const { return data_ != nullptr && capacity_ > N; }
+
+  void grow(std::size_t want) {
+    const std::size_t next = std::max<std::size_t>(want, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(next * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    release_heap();
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  void release_heap() {
+    if (on_heap()) ::operator delete(static_cast<void*>(data_));
+    data_ = inline_data();
+    capacity_ = N;
+  }
+
+  void append(const SmallVector& other) {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) push_back(other.data_[i]);
+  }
+
+  void move_from(SmallVector&& other) {
+    if (other.on_heap()) {
+      // Steal the heap block; leave the source empty on its inline buffer.
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      push_back(std::move(other.data_[i]));
+    }
+    other.clear();
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace cps

@@ -2,16 +2,29 @@
 
 #include "cond/assignment.hpp"
 #include "cond/condition_set.hpp"
+#include "cond/cover_cache.hpp"
 #include "cond/cube.hpp"
 #include "cond/dnf.hpp"
 #include "support/error.hpp"
 #include "support/random.hpp"
+#include "test_util.hpp"
 
 namespace cps {
 namespace {
 
+using testing::random_cube;
+
 Literal pos(CondId c) { return Literal{c, true}; }
 Literal neg(CondId c) { return Literal{c, false}; }
+
+Dnf random_dnf(Rng& rng, std::size_t universe) {
+  Dnf d;
+  const std::size_t cubes = rng.index(4);
+  for (std::size_t i = 0; i < cubes; ++i) {
+    d = d.or_cube(random_cube(rng, universe));
+  }
+  return d;
+}
 
 // ----------------------------------------------------------- Cube -----
 
@@ -95,6 +108,110 @@ TEST(Cube, ToString) {
   EXPECT_EQ(Cube({pos(0), neg(2)}).to_string(), "c0 & !c2");
 }
 
+TEST(Cube, FromMasksRoundTrips) {
+  const Cube c = Cube::from_masks(0b101, 0b010);
+  EXPECT_EQ(c, Cube({pos(0), neg(1), pos(2)}));
+  EXPECT_EQ(c.pos_bits(), 0b101u);
+  EXPECT_EQ(c.neg_bits(), 0b010u);
+  EXPECT_TRUE(c.narrow());
+  EXPECT_TRUE(Cube::from_masks(0, 0).is_true());
+}
+
+TEST(Cube, WideLiteralsTakeTheSlowPath) {
+  const CondId w = Cube::kPackedBits;
+  const Cube c({pos(3), neg(static_cast<CondId>(w + 5))});
+  EXPECT_FALSE(c.narrow());
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.mention_bits(), std::uint64_t{1} << 3);  // packed part only
+  EXPECT_EQ(c.value_of(static_cast<CondId>(w + 5)), false);
+  EXPECT_EQ(c.to_string(), "c3 & !c" + std::to_string(w + 5));
+}
+
+TEST(Cube, HashAgreesWithEquality) {
+  const Cube a({pos(1), neg(4)});
+  const Cube b({neg(4), pos(1)});
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(Cube(pos(1)).hash(), Cube(neg(1)).hash());
+}
+
+// ---- packed vs. slow-path equivalence --------------------------------
+//
+// Shifting every condition id past kPackedBits forces the sorted-vector
+// slow path; every operation must agree with the packed fast path modulo
+// the shift.
+
+Literal shifted(Literal l) {
+  return Literal{static_cast<CondId>(l.cond + Cube::kPackedBits), l.value};
+}
+
+Cube shifted(const Cube& c) {
+  std::vector<Literal> lits;
+  c.for_each([&lits](Literal l) { lits.push_back(shifted(l)); });
+  return Cube(lits);
+}
+
+class CubeRepresentationTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CubeRepresentationTest, PackedAndWideAgree) {
+  Rng rng(GetParam());
+  constexpr std::size_t kUniverse = 6;
+  for (int round = 0; round < 50; ++round) {
+    const Cube a = random_cube(rng, kUniverse);
+    const Cube b = random_cube(rng, kUniverse);
+    const Cube wa = shifted(a);
+    const Cube wb = shifted(b);
+
+    EXPECT_EQ(a == b, wa == wb);
+    EXPECT_EQ(a < b, wa < wb) << a.to_string() << " vs " << b.to_string();
+    EXPECT_EQ(a.compatible(b), wa.compatible(wb));
+    EXPECT_EQ(a.implies(b), wa.implies(wb));
+    EXPECT_EQ(a.conditions_subset_of(b), wa.conditions_subset_of(wb));
+
+    const auto ab = a.conjoin(b);
+    const auto wab = wa.conjoin(wb);
+    ASSERT_EQ(ab.has_value(), wab.has_value());
+    if (ab) {
+      EXPECT_EQ(shifted(*ab), *wab);
+    }
+
+    const CondId probe = static_cast<CondId>(rng.index(kUniverse));
+    EXPECT_EQ(a.value_of(probe), wa.value_of(shifted(pos(probe)).cond));
+    EXPECT_EQ(shifted(a.without(probe)),
+              wa.without(shifted(pos(probe)).cond));
+
+    // Mixed narrow+wide cubes behave like their all-wide counterparts.
+    if (const auto mixed = a.conjoin(wb)) {
+      EXPECT_EQ(mixed->size(), a.size() + wb.size());
+      EXPECT_TRUE(mixed->implies(a));
+      EXPECT_TRUE(mixed->implies(wb));
+      EXPECT_FALSE(mixed->narrow());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CubeRepresentationTest,
+                         ::testing::Values(11, 12, 13, 14));
+
+// The packed operator< must reproduce the historical order exactly:
+// lexicographic comparison of the literal vectors sorted by (cond, value).
+TEST(Cube, OrderingMatchesLexicographicLiteralOrder) {
+  Rng rng(99);
+  for (int round = 0; round < 300; ++round) {
+    const Cube a = random_cube(rng, 8);
+    const Cube b = random_cube(rng, 8);
+    const auto la = a.literals();
+    const auto lb = b.literals();
+    EXPECT_EQ(a < b, la < lb) << a.to_string() << " vs " << b.to_string();
+  }
+  // Boundary: condition 63 is the top packed bit.
+  const Cube hi(pos(63));
+  const Cube lo(neg(63));
+  EXPECT_TRUE(lo < hi);
+  EXPECT_FALSE(hi < lo);
+  EXPECT_TRUE(Cube::top() < hi);
+}
+
 // ----------------------------------------------------------- Dnf ------
 
 TEST(Dnf, Constants) {
@@ -174,28 +291,60 @@ TEST(Dnf, ToString) {
   EXPECT_EQ(d.to_string(), "c0 | !c1");
 }
 
+// ---- normalization edge cases ----------------------------------------
+
+TEST(Dnf, ComplementaryMergeCascades) {
+  // (A&B&C) | (A&B&!C) -> A&B, which must then absorb/merge further:
+  // adding (A&!B) turns the whole thing into A.
+  Dnf d = Dnf(Cube({pos(0), pos(1), pos(2)}))
+              .or_cube(Cube({pos(0), pos(1), neg(2)}));
+  ASSERT_EQ(d.cubes().size(), 1u);
+  EXPECT_EQ(d.cubes()[0], Cube({pos(0), pos(1)}));
+  d = d.or_cube(Cube({pos(0), neg(1)}));
+  ASSERT_EQ(d.cubes().size(), 1u);
+  EXPECT_EQ(d.cubes()[0], Cube(pos(0)));
+}
+
+TEST(Dnf, CascadeCollapsesFullCoverOfThreeConditions) {
+  // All eight minterms over three conditions, added one at a time, must
+  // cascade (merge -> merge -> merge) down to `true`.
+  Dnf d;
+  for (int bits = 0; bits < 8; ++bits) {
+    d = d.or_cube(Cube({Literal{0, (bits & 1) != 0},
+                        Literal{1, (bits & 2) != 0},
+                        Literal{2, (bits & 4) != 0}}));
+  }
+  EXPECT_TRUE(d.is_true());
+  ASSERT_EQ(d.cubes().size(), 1u);
+}
+
+TEST(Dnf, TopCubeSubsumesEverything) {
+  // Adding top() absorbs every other cube, in either order.
+  Dnf d = Dnf(Cube({pos(0), pos(1)})).or_cube(Cube(neg(2)));
+  EXPECT_TRUE(d.or_cube(Cube::top()).is_true());
+  EXPECT_TRUE(Dnf::true_().or_dnf(d).is_true());
+  EXPECT_TRUE(d.or_dnf(Dnf::true_()).is_true());
+}
+
+TEST(Dnf, OrAndAreIdempotentOnNormalizedInputs) {
+  Rng rng(7);
+  for (int round = 0; round < 30; ++round) {
+    const Dnf d = random_dnf(rng, 4);
+    // x | x == x, exactly (the normal form is canonical under or).
+    EXPECT_EQ(d.or_dnf(d), d) << d.to_string();
+    // x & x is semantically x (the normal form may differ, e.g. cube
+    // products can keep a redundant non-prime cube).
+    EXPECT_TRUE(d.and_dnf(d).equivalent(d)) << d.to_string();
+    // Re-normalizing a normal form must not change it.
+    Dnf rebuilt;
+    for (const Cube& c : d.cubes()) rebuilt = rebuilt.or_cube(c);
+    EXPECT_EQ(rebuilt, d) << d.to_string();
+  }
+}
+
 // Property test: DNF algebra agrees with brute-force truth-table
 // evaluation on random formulas.
 class DnfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
-
-Cube random_cube(Rng& rng, std::size_t universe) {
-  Cube c;
-  for (CondId i = 0; i < universe; ++i) {
-    const auto roll = rng.index(3);
-    if (roll == 0) continue;
-    c = *c.conjoin(Literal{i, roll == 1});
-  }
-  return c;
-}
-
-Dnf random_dnf(Rng& rng, std::size_t universe) {
-  Dnf d;
-  const std::size_t cubes = rng.index(4);
-  for (std::size_t i = 0; i < cubes; ++i) {
-    d = d.or_cube(random_cube(rng, universe));
-  }
-  return d;
-}
 
 TEST_P(DnfPropertyTest, OperationsMatchTruthTables) {
   Rng rng(GetParam());
@@ -239,6 +388,60 @@ TEST_P(DnfPropertyTest, OperationsMatchTruthTables) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DnfPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------------------- CoverCache ---
+
+TEST(CoverCache, CountsHitsAndMisses) {
+  CoverCache cache;
+  const Dnf guard = Dnf(Cube({pos(0), pos(1)})).or_cube(Cube(neg(0)));
+  const Cube ctx(pos(1));
+  EXPECT_EQ(cache.covered(guard, ctx), guard.covered_by_context(ctx));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.covered(guard, ctx), guard.covered_by_context(ctx));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.disjoint(guard, ctx), guard.and_cube(ctx).is_false());
+  EXPECT_EQ(cache.misses(), 2u);
+  const CoverCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.resets, 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CoverCache, SizeCapResetsDeterministically) {
+  CoverCache cache(/*max_entries=*/4);
+  const Dnf guard = Dnf(Cube({pos(0), pos(1)})).or_cube(Cube({pos(2)}));
+  const auto fill = [&cache, &guard] {
+    for (CondId c = 0; c < 6; ++c) {
+      cache.covered(guard, Cube(Literal{c, true}));
+    }
+  };
+  fill();
+  // 6 distinct contexts against a cap of 4: the map was wiped on the way.
+  EXPECT_GE(cache.resets(), 1u);
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 6u);
+  // Identical query sequence on a fresh cache: identical counters (the
+  // reset policy depends only on the sequence, never on timing).
+  CoverCache again(/*max_entries=*/4);
+  const Dnf guard2 = Dnf(Cube({pos(0), pos(1)})).or_cube(Cube({pos(2)}));
+  for (CondId c = 0; c < 6; ++c) {
+    again.covered(guard2, Cube(Literal{c, true}));
+  }
+  EXPECT_EQ(again.resets(), cache.resets());
+  EXPECT_EQ(again.hits(), cache.hits());
+  EXPECT_EQ(again.misses(), cache.misses());
+  EXPECT_EQ(again.size(), cache.size());
+  // Correctness is unaffected by evictions.
+  for (CondId c = 0; c < 6; ++c) {
+    const Cube ctx(Literal{c, true});
+    EXPECT_EQ(cache.covered(guard, ctx), guard.covered_by_context(ctx));
+  }
+}
 
 // ------------------------------------------------------- Assignment ---
 

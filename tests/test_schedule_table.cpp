@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "io/table_render.hpp"
 #include "sched/schedule_table.hpp"
+#include "support/random.hpp"
 #include "test_util.hpp"
 
 namespace cps {
@@ -96,6 +98,82 @@ TEST_F(ScheduleTableTest, ColumnsSortedBySizeThenValue) {
   EXPECT_TRUE(cols[0].is_true());
   EXPECT_EQ(cols[1], cube_c(true));
   EXPECT_EQ(t.entry_count(), 2u);
+}
+
+// ---- indexed vs. scan equivalence ------------------------------------
+//
+// The table answers add_entry/matching/conflicting_entries through a
+// per-row hash index and packed-mask prefilters; these tests re-derive
+// every answer with the plain linear scans the pre-index implementation
+// used and require identical results (values *and* order).
+
+using testing::random_cube;
+
+std::vector<TableEntry> matching_scan(const ScheduleTable& t, TaskId task,
+                                      const Cube& label) {
+  std::vector<TableEntry> out;
+  for (const TableEntry& e : t.row(task)) {
+    if (label.implies(e.column)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TableEntry> conflicting_scan(const ScheduleTable& t, TaskId task,
+                                         const Cube& column, Time start,
+                                         PeId resource) {
+  std::vector<TableEntry> out;
+  for (const TableEntry& e : t.row(task)) {
+    if (!e.column.compatible(column)) continue;
+    if (e.start == start && e.resource == resource) continue;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TableEntry& a, const TableEntry& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.resource < b.resource;
+            });
+  return out;
+}
+
+AddEntryResult add_entry_scan_verdict(const ScheduleTable& t, TaskId task,
+                                      const Cube& column, Time start,
+                                      PeId resource) {
+  for (const TableEntry& e : t.row(task)) {
+    if (e.column == column) {
+      return e.start == start && e.resource == resource
+                 ? AddEntryResult::kDuplicate
+                 : AddEntryResult::kClash;
+    }
+  }
+  return AddEntryResult::kAdded;
+}
+
+TEST_F(ScheduleTableTest, IndexedQueriesMatchLinearScans) {
+  // `shift` 0 exercises the packed prefilter path; Cube::kPackedBits
+  // forces wide columns through the exact fallback.
+  for (const CondId shift : {CondId{0}, Cube::kPackedBits}) {
+    SCOPED_TRACE("shift=" + std::to_string(shift));
+    Rng rng(2024 + shift);
+    ScheduleTable t(FG);
+    const TaskId task = FG.task_of_process(p1_);
+    for (int round = 0; round < 400; ++round) {
+      const Cube column = random_cube(rng, 5, shift);
+      const Time start = static_cast<Time>(rng.index(6));
+      const PeId res = static_cast<PeId>(rng.index(2));
+      const AddEntryResult expected =
+          add_entry_scan_verdict(t, task, column, start, res);
+      EXPECT_EQ(t.add_entry(task, column, start, res), expected);
+
+      const Cube probe = random_cube(rng, 5, shift);
+      EXPECT_EQ(t.matching(task, probe), matching_scan(t, task, probe));
+      EXPECT_EQ(t.conflicting_entries(task, probe, start, res),
+                conflicting_scan(t, task, probe, start, res));
+    }
+    // Rows answered through the prefilter even when the probe decides
+    // nothing the row mentions.
+    EXPECT_EQ(t.matching(task, Cube::top()),
+              matching_scan(t, task, Cube::top()));
+  }
 }
 
 TEST_F(ScheduleTableTest, RenderShowsRowsAndColumns) {

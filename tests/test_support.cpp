@@ -1,15 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 #include "support/random.hpp"
+#include "support/small_vector.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
 #include "support/table_format.hpp"
@@ -326,6 +330,125 @@ void expect_valid_jsonish(const std::string& s) {
 }
 
 }  // namespace
+
+TEST(JsonValue, ParsesScalarsContainersAndEscapes) {
+  const JsonValue v = JsonValue::parse(
+      "{\"a\": 1, \"b\": [true, null, -2.5, \"x\\n\\u0041\"],"
+      " \"nested\": {\"k\": \"v\"}, \"empty\": [] }");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  const auto& items = v.at("b").items();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_TRUE(items[0].as_bool());
+  EXPECT_TRUE(items[1].is_null());
+  EXPECT_DOUBLE_EQ(items[2].as_number(), -2.5);
+  EXPECT_EQ(items[3].as_string(), "x\nA");
+  EXPECT_EQ(v.at("nested").at("k").as_string(), "v");
+  EXPECT_TRUE(v.at("empty").items().empty());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), ParseError);
+  EXPECT_THROW(v.at("a").as_string(), ParseError);
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), ParseError);
+  EXPECT_THROW(JsonValue::parse("{"), ParseError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), ParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(JsonValue::parse("1 2"), ParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(JsonValue::parse("1.2.3"), ParseError);
+  EXPECT_THROW(JsonValue::parse_file("/nonexistent/path.json"), ParseError);
+  // Corrupt deeply nested input raises ParseError, not a stack overflow.
+  EXPECT_THROW(JsonValue::parse(std::string(200000, '[')), ParseError);
+}
+
+TEST(JsonValue, RoundTripsTheWritersOutput) {
+  JsonWriter w(2);
+  w.begin_object();
+  w.field("name", "quote \" and \\ backslash");
+  w.field("count", std::size_t{42});
+  w.key("values").begin_array().value(1.5).value(false).null().end_array();
+  w.end_object();
+  const JsonValue v = JsonValue::parse(w.str());
+  EXPECT_EQ(v.at("name").as_string(), "quote \" and \\ backslash");
+  EXPECT_EQ(v.at("count").as_int(), 42);
+  ASSERT_EQ(v.at("values").items().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("values").items()[0].as_number(), 1.5);
+  // Member order is preserved (the writer's emission order).
+  EXPECT_EQ(v.members()[0].first, "name");
+  EXPECT_EQ(v.members()[2].first, "values");
+}
+
+// ------------------------------------------------------- SmallVector --
+
+TEST(SmallVector, PushBackOfOwnElementSurvivesGrowth) {
+  // std::vector parity: v.push_back(v[0]) is safe even when it grows.
+  SmallVector<std::string, 2> v{"a long enough string to heap-allocate",
+                                "second"};
+  v.push_back(v[0]);  // exactly full: this push triggers growth
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], "a long enough string to heap-allocate");
+  v.push_back(v[1]);
+  EXPECT_EQ(v[3], "second");
+}
+
+TEST(SmallVector, StaysInlineThenSpills) {
+  SmallVector<int, 2> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.capacity(), 2u);  // still inline
+  v.push_back(3);
+  EXPECT_GT(v.capacity(), 2u);  // spilled to the heap
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(SmallVector, CopyMoveAndComparison) {
+  SmallVector<std::string, 2> a{"x", "y", "z"};
+  SmallVector<std::string, 2> b = a;  // copy (heap)
+  EXPECT_EQ(a, b);
+  SmallVector<std::string, 2> c = std::move(b);
+  EXPECT_EQ(a, c);
+  SmallVector<std::string, 2> inline_small{"x"};
+  SmallVector<std::string, 2> moved_inline = std::move(inline_small);
+  EXPECT_EQ(moved_inline.size(), 1u);
+  EXPECT_EQ(moved_inline[0], "x");
+  EXPECT_TRUE(inline_small.empty());
+  SmallVector<std::string, 2> smaller{"x", "y"};
+  EXPECT_TRUE(smaller < a);
+  EXPECT_NE(smaller, a);
+  a = smaller;  // copy-assign shrinks
+  EXPECT_EQ(a, smaller);
+}
+
+TEST(SmallVector, EraseInsertAndStdAlgorithms) {
+  SmallVector<int, 2> v{5, 3, 1, 4, 2};
+  std::sort(v.begin(), v.end());
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  v.erase(v.begin() + 1);  // drop 2
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[1], 3);
+  v.erase(v.begin(), v.begin() + 2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 4);
+  const SmallVector<int, 2> tail{7, 8};
+  v.insert(v.end(), tail.begin(), tail.end());
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[3], 8);
+  v.insert(v.begin() + 1, tail.begin(), tail.end());
+  EXPECT_EQ(v[1], 7);
+  EXPECT_EQ(v[2], 8);
+  EXPECT_EQ(v[3], 5);
+  // Empty-range erase anywhere is a no-op (std::vector parity).
+  const SmallVector<int, 2> before = v;
+  v.erase(v.begin(), v.begin());
+  v.erase(v.begin() + 1, v.begin() + 1);
+  v.erase(v.end(), v.end());
+  EXPECT_EQ(v, before);
+}
 
 TEST(Json, NonFiniteDoublesRenderAsNull) {
   JsonWriter w(0);

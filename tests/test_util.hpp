@@ -5,11 +5,26 @@
 
 #include <vector>
 
+#include "cond/cube.hpp"
 #include "cpg/builder.hpp"
 #include "cpg/flat_graph.hpp"
 #include "sched/schedule.hpp"
+#include "support/random.hpp"
 
 namespace cps::testing {
+
+/// Random cube over conditions [shift, shift + universe): each condition
+/// is absent / positive / negative with equal probability. `shift` >=
+/// Cube::kPackedBits exercises the wide slow-path representation.
+inline Cube random_cube(Rng& rng, std::size_t universe, CondId shift = 0) {
+  Cube c;
+  for (CondId i = 0; i < universe; ++i) {
+    const auto roll = rng.index(3);
+    if (roll == 0) continue;
+    c = *c.conjoin(Literal{static_cast<CondId>(i + shift), roll == 1});
+  }
+  return c;
+}
 
 /// A small architecture: two processors, one ASIC, one bus, tau0 = 1.
 inline Architecture small_arch() {
