@@ -12,6 +12,13 @@
 // reference on identical inputs, verifies the tables are byte-identical,
 // and reports the wall-clock speedup per cell.
 //
+// --compare-resume does the same for the incremental-rescheduling knob:
+// it re-merges every graph serially with EngineResume::kFromScratch (the
+// retained reference) and verifies the table is byte-identical to the
+// --resume mode under test; any mismatch exits non-zero (CI equivalence
+// gate). --resume scratch|checkpoint selects the engine-resume mode of
+// the timed merges (default: checkpoint, the production default).
+//
 // --json-out FILE writes the measurements in a stable machine-readable
 // schema (see write_json below); --baseline FILE reads a previous
 // --json-out dump (e.g. the committed BENCH_baseline.json) and reports the
@@ -50,16 +57,17 @@ struct CellResult {
   double merge_serial_ms = 0.0;  // mean over the cell's graphs
   double sched_ms = 0.0;
   double merge_parallel_ms = 0.0;  // --compare only
+  double merge_scratch_ms = 0.0;   // --compare-resume only
   double conditions_mean = 0.0;
 };
 
 /// Machine-readable dump (schema_version 1): config, per-cell means, and
 /// run totals. BENCH_baseline.json is exactly this schema.
 std::string cells_to_json(const CliParser& cli, bool compare,
-                          std::size_t graphs_per_cell,
+                          bool compare_resume, std::size_t graphs_per_cell,
                           const std::vector<CellResult>& cells,
                           double total_serial_ms, double total_parallel_ms,
-                          double total_sched_ms) {
+                          double total_scratch_ms, double total_sched_ms) {
   JsonWriter w(2);
   w.begin_object();
   w.field("schema_version", 1);
@@ -71,6 +79,8 @@ std::string cells_to_json(const CliParser& cli, bool compare,
   w.field("paths", cli.get_string("paths"));
   w.field("threads", cli.get_count("threads", 0));
   w.field("compare", compare);
+  w.field("resume", cli.get_string("resume"));
+  w.field("compare_resume", compare_resume);
   w.end_object();
   w.key("cells").begin_array();
   for (const CellResult& cell : cells) {
@@ -85,6 +95,11 @@ std::string cells_to_json(const CliParser& cli, bool compare,
       w.field("speedup", cell.merge_serial_ms /
                              std::max(cell.merge_parallel_ms, 1e-9));
     }
+    if (compare_resume) {
+      w.field("merge_scratch_ms", cell.merge_scratch_ms);
+      w.field("resume_speedup", cell.merge_scratch_ms /
+                                    std::max(cell.merge_serial_ms, 1e-9));
+    }
     w.end_object();
   }
   w.end_array();
@@ -96,6 +111,11 @@ std::string cells_to_json(const CliParser& cli, bool compare,
     w.field("merge_parallel_ms", total_parallel_ms);
     w.field("parallel_speedup",
             total_serial_ms / std::max(total_parallel_ms, 1e-9));
+  }
+  if (compare_resume) {
+    w.field("merge_scratch_ms", total_scratch_ms);
+    w.field("resume_speedup",
+            total_scratch_ms / std::max(total_serial_ms, 1e-9));
   }
   w.end_object();
   w.end_object();
@@ -161,6 +181,14 @@ int main(int argc, char** argv) try {
   cli.add_bool("compare",
                "run the speculative parallel merger against the serial "
                "reference, verify identical tables, report speedups");
+  cli.add_flag("resume", "checkpoint",
+               "engine resume mode of the timed merges: 'checkpoint' "
+               "(incremental prefix rescheduling, production default) or "
+               "'scratch' (reference)");
+  cli.add_bool("compare-resume",
+               "re-merge serially with EngineResume::kFromScratch, verify "
+               "the tables are byte-identical to the --resume mode, report "
+               "the speedup (exits non-zero on any mismatch)");
   cli.add_flag("json-out", "",
                "write the measurements (stable schema) as JSON to FILE "
                "(- = stdout)");
@@ -172,6 +200,15 @@ int main(int argc, char** argv) try {
   const auto graphs_per_cell = cli.get_count("graphs", 1);
   const auto threads = cli.get_count("threads", 0);
   const bool compare = cli.get_bool("compare");
+  const bool compare_resume = cli.get_bool("compare-resume");
+  const std::string resume_name = cli.get_string("resume");
+  if (resume_name != "checkpoint" && resume_name != "scratch") {
+    throw cps::ParseError("--resume must be 'checkpoint' or 'scratch', got '" +
+                          resume_name + "'");
+  }
+  const EngineResume resume = resume_name == "scratch"
+                                  ? EngineResume::kFromScratch
+                                  : EngineResume::kCheckpoint;
   const std::vector<std::size_t> node_counts = cli.get_count_list("nodes");
   const std::vector<std::size_t> path_counts = cli.get_count_list("paths");
 
@@ -189,14 +226,18 @@ int main(int argc, char** argv) try {
 
   double total_serial_ms = 0.0;
   double total_parallel_ms = 0.0;
+  double total_scratch_ms = 0.0;
   double total_sched_ms = 0.0;
   std::vector<CellResult> cells;
   bool all_identical = true;
+  WorkspaceStats merge_workspace;
 
   // One pool for the whole run: worker spawn/join stays out of the timed
-  // merge regions.
+  // merge regions. Likewise one engine workspace for all per-path
+  // scheduling, so buffer allocations stay out of the timed regions too.
   std::unique_ptr<ThreadPool> pool;
   if (compare) pool = std::make_unique<ThreadPool>(threads);
+  EngineWorkspace sched_ws;
 
   std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   for (std::size_t nodes : node_counts) {
@@ -207,6 +248,7 @@ int main(int argc, char** argv) try {
       StatAccumulator merge_ms;
       StatAccumulator sched_ms;
       StatAccumulator parallel_ms;
+      StatAccumulator scratch_ms;
       StatAccumulator conditions;
       for (std::size_t i = 0; i < graphs_per_cell; ++i) {
         Rng rng(++seed);
@@ -231,30 +273,68 @@ int main(int argc, char** argv) try {
           schedules.push_back(schedule_path(fg, alt.back(),
                                             PriorityPolicy::kCriticalPath,
                                             nullptr, ReadySelection::kHeap,
-                                            &cache));
+                                            &cache, &sched_ws));
           cell_sched_ms += ms_since(t_sched);
         }
         sched_ms.add(cell_sched_ms);
 
         MergeOptions serial;
         serial.execution = MergeExecution::kSerial;
+        serial.resume = resume;
         auto t0 = clock_type::now();
         const MergeResult serial_result =
             merge_schedules(fg, alt, schedules, serial);
         merge_ms.add(ms_since(t0));
+        merge_workspace += serial_result.workspace;
+        if (!serial_result.ok) {
+          all_identical = false;
+          std::cerr << "ERROR: serial merge infeasible (nodes=" << nodes
+                    << " paths=" << paths << " seed=" << seed
+                    << "): " << serial_result.error << "\n";
+        }
 
         if (compare) {
           MergeOptions parallel;
           parallel.execution = MergeExecution::kSpeculative;
+          parallel.resume = resume;
           parallel.pool = pool.get();
           t0 = clock_type::now();
           const MergeResult parallel_result =
               merge_schedules(fg, alt, schedules, parallel);
           parallel_ms.add(ms_since(t0));
+          if (!parallel_result.ok) {
+            all_identical = false;
+            std::cerr << "ERROR: speculative merge infeasible (nodes="
+                      << nodes << " paths=" << paths << " seed=" << seed
+                      << "): " << parallel_result.error << "\n";
+          }
           if (serial_result.table != parallel_result.table) {
             all_identical = false;
             std::cerr << "ERROR: speculative merge diverged from the "
                          "serial reference (nodes="
+                      << nodes << " paths=" << paths << " seed=" << seed
+                      << ")\n";
+          }
+        }
+        if (compare_resume) {
+          MergeOptions scratch;
+          scratch.execution = MergeExecution::kSerial;
+          scratch.resume = EngineResume::kFromScratch;
+          t0 = clock_type::now();
+          const MergeResult scratch_result =
+              merge_schedules(fg, alt, schedules, scratch);
+          scratch_ms.add(ms_since(t0));
+          if (!scratch_result.ok) {
+            all_identical = false;
+            std::cerr << "ERROR: from-scratch merge infeasible (nodes="
+                      << nodes << " paths=" << paths << " seed=" << seed
+                      << "): " << scratch_result.error << "\n";
+          }
+          if (serial_result.table != scratch_result.table) {
+            all_identical = false;
+            std::cerr << "ERROR: " << resume_name
+                      << "-resume merge diverged from the from-scratch "
+                         "reference (nodes="
                       << nodes << " paths=" << paths << " seed=" << seed
                       << ")\n";
           }
@@ -268,9 +348,13 @@ int main(int argc, char** argv) try {
       cell.merge_serial_ms = merge_ms.mean();
       cell.sched_ms = sched_ms.mean();
       if (compare) cell.merge_parallel_ms = parallel_ms.mean();
+      if (compare_resume) cell.merge_scratch_ms = scratch_ms.mean();
       cell.conditions_mean = conditions.mean();
       cells.push_back(cell);
       total_serial_ms += merge_ms.mean() * graphs_per_cell;
+      if (compare_resume) {
+        total_scratch_ms += scratch_ms.mean() * graphs_per_cell;
+      }
       total_sched_ms += sched_ms.mean() * graphs_per_cell;
       if (compare) {
         total_parallel_ms += parallel_ms.mean() * graphs_per_cell;
@@ -313,12 +397,30 @@ int main(int argc, char** argv) try {
                   ? "tables: byte-identical across execution modes\n"
                   : "tables: DIVERGED — see errors above\n");
   }
+  if (compare_resume) {
+    human << "\nresume modes: serial merge " << resume_name << " "
+          << format_double(total_serial_ms, 1) << " ms vs from-scratch "
+          << format_double(total_scratch_ms, 1) << " ms, speedup "
+          << format_double(total_scratch_ms /
+                               std::max(total_serial_ms, 1e-9),
+                           2)
+          << "x\n";
+    human << (all_identical
+                  ? "tables: byte-identical across resume modes\n"
+                  : "tables: DIVERGED — see errors above\n");
+  }
+  human << "\nengine workspace (serial merges): " << merge_workspace.runs
+        << " runs, " << merge_workspace.reuse_hits << " buffer reuses, "
+        << merge_workspace.resumes << " checkpoint resumes ("
+        << merge_workspace.resumed_steps << " steps skipped), "
+        << merge_workspace.full_reuses << " full reuses\n";
 
   const std::string json_path = cli.get_string("json-out");
   if (!json_path.empty()) {
     const std::string json =
-        cells_to_json(cli, compare, graphs_per_cell, cells, total_serial_ms,
-                      total_parallel_ms, total_sched_ms);
+        cells_to_json(cli, compare, compare_resume, graphs_per_cell, cells,
+                      total_serial_ms, total_parallel_ms, total_scratch_ms,
+                      total_sched_ms);
     if (!JsonWriter::write_output(json_path, json)) return 1;
   }
   const std::string baseline_path = cli.get_string("baseline");
@@ -328,7 +430,7 @@ int main(int argc, char** argv) try {
                             total_sched_ms, total_serial_ms);
   }
 
-  if (compare && !all_identical) return 1;
+  if ((compare || compare_resume) && !all_identical) return 1;
   human << "\npaper shape: merge time grows with the number of merged "
            "schedules (0.05s..0.25s\non a 1998 SPARCstation 20) and "
            "depends only weakly on the node count.\n";

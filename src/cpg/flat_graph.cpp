@@ -1,14 +1,17 @@
 #include "cpg/flat_graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "support/error.hpp"
 
 namespace cps {
 
 FlatGraph FlatGraph::expand(const Cpg& g) {
+  static std::atomic<std::uint64_t> next_uid{1};
   FlatGraph fg;
   fg.cpg_ = &g;
+  fg.uid_ = next_uid.fetch_add(1);
 
   // One task per process, same id order.
   fg.task_of_process_.resize(g.process_count());

@@ -153,6 +153,12 @@ class FlatGraph {
   /// disabled.
   const std::vector<PeId>& broadcast_buses() const { return bcast_buses_; }
 
+  /// Process-unique graph id (assigned at expand time, carried by moves).
+  /// Lets long-lived caches keyed on this graph's guards (EngineWorkspace's
+  /// private cover cache, EngineHistory) detect that a different graph
+  /// arrived even when heap addresses were reused.
+  std::uint64_t uid() const { return uid_; }
+
  private:
   void compute_guard_info();
 
@@ -165,6 +171,7 @@ class FlatGraph {
   std::vector<PeId> bcast_buses_;
   std::vector<TaskGuardInfo> guard_info_;  // by TaskId
   bool masks_enabled_ = false;
+  std::uint64_t uid_ = 0;
 };
 
 }  // namespace cps

@@ -85,6 +85,14 @@ void write_item(JsonWriter& w, const BatchItem& item,
   w.field("entries", item.cover_cache.entries);
   w.field("resets", item.cover_cache.resets);
   w.end_object();
+  w.key("workspace").begin_object();
+  w.field("runs", item.workspace.runs);
+  w.field("reuse_hits", item.workspace.reuse_hits);
+  w.field("resumes", item.workspace.resumes);
+  w.field("full_reuses", item.workspace.full_reuses);
+  w.field("from_scratch", item.workspace.from_scratch);
+  w.field("resumed_steps", item.workspace.resumed_steps);
+  w.end_object();
   if (options.include_timing) {
     w.key("timing_ms").begin_object();
     w.field("expand", item.expand_ms);
@@ -110,7 +118,15 @@ BatchItem run_batch_item(const BatchConfig& config, std::size_t index) {
     const Architecture arch = generate_random_architecture(rng, config.arch);
     const Cpg g = generate_random_cpg(arch, config.cpg, rng);
 
-    const CoSynthesisResult result = schedule_cpg(g, config.synthesis);
+    // Every item co-synthesizes on its own engine workspace: a workspace
+    // is single-threaded and sharing one across pool workers would both
+    // race and make the per-item reuse counters depend on scheduling
+    // (breaking the byte-identical JSON guarantee). The per-call
+    // workspace still amortizes allocations across all paths and merge
+    // runs of the item.
+    CoSynthesisOptions synthesis = config.synthesis;
+    synthesis.workspace = nullptr;
+    const CoSynthesisResult result = schedule_cpg(g, synthesis);
 
     item.ok = true;
     item.processes = g.process_count();
@@ -123,6 +139,7 @@ BatchItem run_batch_item(const BatchConfig& config, std::size_t index) {
     item.increase_percent = result.delays.increase_percent;
     item.merge = result.merge_stats;
     item.cover_cache = result.cover_cache;
+    item.workspace = result.workspace;
     item.expand_ms = result.timings.expand_ms;
     item.enumerate_ms = result.timings.enumerate_ms;
     item.schedule_ms = result.timings.schedule_ms;

@@ -54,6 +54,11 @@ struct BatchItem {
   /// merge's own cache is timing-dependent under speculative execution and
   /// deliberately not exported here).
   CoverCacheStats cover_cache;
+  /// Per-path scheduling engine-workspace counters (same determinism
+  /// contract as cover_cache: each item runs on its own workspace, so the
+  /// counters are a pure function of the seed; the merge-side workspace
+  /// split is timing-dependent under speculation and not exported).
+  WorkspaceStats workspace;
 
   // Wall-clock per pipeline stage (milliseconds).
   double expand_ms = 0.0;

@@ -25,9 +25,15 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
 
   // Stream enumeration and per-path scheduling: each alternative path is
   // scheduled as soon as its label is produced, and the max_paths budget
-  // trips before an exponential label set is ever materialized.
+  // trips before an exponential label set is ever materialized. One
+  // engine workspace serves the whole loop, so only the first path pays
+  // the engine-buffer allocations.
   Rng rng(options.merge.random_seed);
   CoverCache cover_cache;
+  EngineWorkspace owned_workspace;
+  EngineWorkspace& workspace =
+      options.workspace != nullptr ? *options.workspace : owned_workspace;
+  const WorkspaceStats workspace_before = workspace.stats;
   std::vector<AltPath> paths;
   std::vector<PathSchedule> schedules;
   double enumerate_ms = 0.0;
@@ -47,14 +53,20 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
     const auto s0 = clock_type::now();
     schedules.push_back(schedule_path(*flat, paths.back(),
                                       options.path_priority, &rng,
-                                      options.merge.ready, &cover_cache));
+                                      options.merge.ready, &cover_cache,
+                                      &workspace));
     schedule_ms += ms_between(s0, clock_type::now());
   }
+  WorkspaceStats workspace_stats = workspace.stats;
+  workspace_stats -= workspace_before;
 
   const auto t3 = clock_type::now();
   MergeResult merged =
       merge_schedules(*flat, paths, schedules, options.merge);
   const auto t4 = clock_type::now();
+  if (!merged.ok) {
+    throw ValidationError("schedule merging failed: " + merged.error);
+  }
 
   if (options.validate) {
     const TableValidation validation =
@@ -81,6 +93,8 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
                            std::move(merged.table),
                            merged.stats,
                            cover_cache.stats(),
+                           workspace_stats,
+                           merged.workspace,
                            std::move(delays),
                            timings};
 }

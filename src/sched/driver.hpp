@@ -27,6 +27,13 @@ struct CoSynthesisOptions {
   /// crossed, instead of first materializing (and scheduling) an
   /// exponential path set. 0 = unlimited.
   std::size_t max_paths = 0;
+  /// Optional externally owned engine workspace for the per-path
+  /// scheduling loop: callers that co-synthesize repeatedly on one thread
+  /// (benches, custom harnesses) can pay the buffer allocations once
+  /// across calls. Must outlive the call and must not be used
+  /// concurrently. nullptr = the flow owns a workspace per call (still
+  /// reused across all paths of that call).
+  EngineWorkspace* workspace = nullptr;
 };
 
 /// Wall-clock cost of each pipeline stage (milliseconds).
@@ -50,6 +57,16 @@ struct CoSynthesisResult {
   /// memoization). Deterministic: the per-path loop is serial, so the
   /// counters are a pure function of the input graph and options.
   CoverCacheStats cover_cache;
+  /// Engine-workspace counters of the per-path scheduling loop (buffer
+  /// reuse across the paths of this call). Deterministic, like
+  /// `cover_cache`; counts only this call's runs even on a shared
+  /// external workspace.
+  WorkspaceStats workspace;
+  /// Aggregated engine-workspace counters of the merge (walking thread +
+  /// speculative workers): checkpoint resumes, full reuses, resumed
+  /// steps. Timing-dependent under speculative execution (see
+  /// MergeResult::workspace), hence kept out of byte-identical outputs.
+  WorkspaceStats merge_workspace;
   DelayReport delays;
   StageTimings timings;
 

@@ -1,0 +1,294 @@
+// EngineWorkspace: reusable storage for the list-scheduler engine, plus
+// the checkpoint machinery behind incremental prefix rescheduling.
+//
+// The engine deliberately runs its hot loops against engine-owned storage
+// (borrowing the caller's vectors measured ~3x slower per-path run, see
+// list_scheduler.hpp). Before this layer existed that snapshot was a fresh
+// allocation per run; a workspace keeps every engine-side buffer — the
+// request snapshot, the per-task bookkeeping vectors, the per-resource
+// ready heaps and knowledge words, the private cover cache — alive across
+// runs so repeated `run_list_scheduler` calls only re-`assign` into warm
+// capacity. One workspace serves one thread: the serial driver and the
+// merge walk own one as a plain member, speculative merge workers get
+// per-worker slots (support/thread_pool's WorkerLocal).
+//
+// On top of the workspace, EngineHistory records a *checkpoint stream*
+// during a run: the full engine state at (a thinned subset of) the
+// committed time steps. A later run on the same request-modulo-locks can
+// then resume from the latest checkpoint that provably precedes any
+// influence of the differing locks, instead of rescheduling from t=0 —
+// the classic incremental-rescheduling win for the merge phase, where
+// adjacent back-step adjustments of the same path differ only in a small
+// rule-3 lock-set delta. Resumed runs are byte-identical to from-scratch
+// runs (equivalence-tested); the knob is EngineResume with kFromScratch
+// retained as the reference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "cond/cover_cache.hpp"
+#include "cpg/flat_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace cps {
+
+/// A fixed reservation for a task (merge adjustment).
+struct TaskLock {
+  Time start = 0;
+  PeId resource = 0;
+
+  friend bool operator==(const TaskLock& a, const TaskLock& b) {
+    return a.start == b.start && a.resource == b.resource;
+  }
+  friend bool operator!=(const TaskLock& a, const TaskLock& b) {
+    return !(a == b);
+  }
+};
+
+/// Ready-task selection strategy.
+///
+/// kHeap is the production engine: per-resource lazy max-heaps keyed by
+/// (priority, task id), precomputed guard masks and a memoized DNF cover
+/// cache. kLinearScan preserves the original O(V^2) engine byte-for-byte
+/// (full task scans, per-step DNF re-evaluation); it exists as the
+/// equivalence-test reference and performance baseline. Both produce
+/// identical schedules on identical requests.
+enum class ReadySelection : std::uint8_t { kHeap, kLinearScan };
+
+const char* to_string(ReadySelection s);
+
+/// Whether an engine run may resume from a recorded checkpoint stream.
+///
+/// kCheckpoint (production) resumes when the request matches a recorded
+/// run up to its lock set and the first divergent lock provably cannot
+/// influence the prefix; otherwise it falls back to a full run (and
+/// re-records). kFromScratch ignores any history entirely — the reference
+/// behavior, retained for equivalence tests and ablation.
+enum class EngineResume : std::uint8_t { kFromScratch, kCheckpoint };
+
+const char* to_string(EngineResume r);
+
+/// Max-heap entry of the per-resource ready list: highest priority first,
+/// lowest task id on ties (matching the reference linear scan exactly).
+struct ReadyEntry {
+  std::int64_t prio = 0;
+  TaskId id = 0;
+};
+
+struct ReadyCompare {
+  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+    return a.prio < b.prio || (a.prio == b.prio && a.id > b.id);
+  }
+};
+
+using ReadyHeap =
+    std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyCompare>;
+
+/// Counters of one workspace (accumulated across the runs it served).
+/// The serial driver's and the serial merge walk's counters are
+/// deterministic; under speculative merge execution the inline-vs-worker
+/// split depends on timing, so aggregated merge-side counters may vary
+/// with thread count (the schedule tables never do).
+struct WorkspaceStats {
+  /// Engine runs served by this workspace.
+  std::size_t runs = 0;
+  /// Runs that found warm buffers from an earlier run (capacity reuse).
+  std::size_t reuse_hits = 0;
+  /// Checkpoint-mode runs resumed from a recorded checkpoint.
+  std::size_t resumes = 0;
+  /// Checkpoint-mode runs whose lock set matched the recorded run exactly
+  /// (the recorded result was returned without stepping the engine).
+  std::size_t full_reuses = 0;
+  /// Checkpoint-mode runs that found no usable checkpoint.
+  std::size_t from_scratch = 0;
+  /// Committed time steps skipped by resuming (vs rescheduling from t=0).
+  std::size_t resumed_steps = 0;
+  /// Checkpoints recorded into histories by runs on this workspace.
+  std::size_t checkpoints = 0;
+
+  WorkspaceStats& operator+=(const WorkspaceStats& o) {
+    runs += o.runs;
+    reuse_hits += o.reuse_hits;
+    resumes += o.resumes;
+    full_reuses += o.full_reuses;
+    from_scratch += o.from_scratch;
+    resumed_steps += o.resumed_steps;
+    checkpoints += o.checkpoints;
+    return *this;
+  }
+
+  /// Counter delta (`after - before` of the same monotonic workspace):
+  /// isolates the runs of one scope when a workspace is shared.
+  WorkspaceStats& operator-=(const WorkspaceStats& o) {
+    runs -= o.runs;
+    reuse_hits -= o.reuse_hits;
+    resumes -= o.resumes;
+    full_reuses -= o.full_reuses;
+    from_scratch -= o.from_scratch;
+    resumed_steps -= o.resumed_steps;
+    checkpoints -= o.checkpoints;
+    return *this;
+  }
+};
+
+/// Full engine state at the end of one committed time step. Broadcast
+/// pending lists and lock-derived structures are rebuilt at resume time
+/// (their content is a pure function of the restored flags and the new
+/// lock set), so they are not stored.
+struct EngineCheckpoint {
+  Time now = 0;
+  std::size_t steps = 0;  ///< committed steps up to and including this one
+  std::size_t remaining = 0;
+  PathSchedule sched;
+  std::vector<std::size_t> pending;
+  std::vector<Time> dep_ready;
+  std::vector<bool> started;
+  std::vector<bool> finished;
+  std::vector<Time> busy_until;
+  std::vector<TaskId> running;
+  std::vector<std::vector<Time>> known;  ///< wide mode only (no masks)
+  std::vector<std::uint64_t> known_pos;
+  std::vector<std::uint64_t> known_neg;
+  std::vector<ReadyHeap> ready;
+  std::vector<TaskId> hw_ready;
+};
+
+/// Recorded run of one (graph, label, active, priority) request identity:
+/// the lock set it ran with, the outcome, per-task first-startable times,
+/// and a thinned stream of checkpoints. Owned by the caller (the merge
+/// keeps one per alternative path) and handed to the engine via
+/// EngineRequest::history; the engine validates the identity before
+/// trusting it and re-records on every run. Not thread-safe: one history
+/// belongs to one thread at a time.
+struct EngineHistory {
+  /// Upper bound on live checkpoints; when reached, every second one is
+  /// dropped and the recording stride doubles (log-structured thinning),
+  /// so memory stays bounded and long runs keep coarse early coverage
+  /// plus dense recent coverage.
+  static constexpr std::size_t kMaxCheckpoints = 16;
+
+  bool valid = false;
+
+  /// Caller hint: record checkpoints from the very first run. Runs whose
+  /// history may be rerun by someone else (speculative merge jobs, whose
+  /// commit re-runs with the by-then-grown lock set on a miss) set this;
+  /// the recording then happens off the walk's critical path. Without it,
+  /// checkpoint recording is demand-driven: the first run stores only the
+  /// cheap per-run metadata (identity, locks, act, outcome — enough for
+  /// full reuse), and per-step recording starts once a rerun with the
+  /// same identity has actually been observed (see `record`). This keeps
+  /// the serial merge free of recording overhead on workloads where every
+  /// path is adjusted exactly once.
+  bool eager = false;
+  /// Demand latch, engine-maintained: a run with matching identity but a
+  /// different lock set arrived, so reruns happen here and recording pays.
+  bool record = false;
+
+  // Identity of the recorded request (everything but the locks).
+  std::uint64_t graph_uid = 0;
+  std::size_t task_count = 0;
+  Cube label;
+  std::vector<bool> active;
+  std::vector<std::int64_t> priority;
+  bool enforce_knowledge = true;
+
+  // The recorded run.
+  std::vector<std::optional<TaskLock>> locks;
+  std::uint64_t lock_fingerprint = 0;
+  /// Per task: time its last active predecessor completed (the first
+  /// moment it could possibly start); Time max when it never happened.
+  std::vector<Time> act;
+  /// Max duration over active tasks (lock-influence horizon), >= 1.
+  Time max_duration = 1;
+  bool feasible = false;
+  PathSchedule final_schedule;
+  std::optional<TaskId> offending_lock;
+  std::string reason;
+  std::size_t total_steps = 0;
+
+  // Checkpoint stream (slots beyond ckpt_count are retained for capacity).
+  std::vector<EngineCheckpoint> ckpts;
+  std::size_t ckpt_count = 0;
+  std::size_t stride = 1;
+  std::size_t since_record = 0;
+
+  void invalidate() {
+    valid = false;
+    ckpt_count = 0;
+    stride = 1;
+    since_record = 0;
+  }
+};
+
+/// Deterministic fingerprint of a lock set (quick inequality filter; the
+/// engine still compares exactly before reusing anything).
+std::uint64_t lock_set_fingerprint(
+    const std::vector<std::optional<TaskLock>>& locks);
+
+/// Reusable engine-side storage. Default-constructed cold; the engine
+/// warms it on first use and re-assigns (capacity-preserving) on every
+/// subsequent run. All members below `stats` are engine-internal: callers
+/// only construct the workspace, pass it to `run_list_scheduler` /
+/// `schedule_path` / the merge, and read `stats`.
+struct EngineWorkspace {
+  EngineWorkspace() = default;
+  EngineWorkspace(const EngineWorkspace&) = delete;
+  EngineWorkspace& operator=(const EngineWorkspace&) = delete;
+
+  WorkspaceStats stats;
+
+  // --- engine-internal state (documented in list_scheduler.cpp) ---
+
+  /// Graph the private cover cache (and warm sizing) is bound to; the
+  /// cache is cleared whenever a run arrives for a different graph.
+  std::uint64_t bound_graph_uid = 0;
+  bool warm = false;
+
+  /// Private fallback cover cache (used when the request brings none).
+  CoverCache private_cache;
+
+  // Request snapshot (engine-owned copies; assignment reuses capacity).
+  Cube label;
+  std::vector<bool> active;
+  std::vector<std::int64_t> priority;
+  std::vector<std::optional<TaskLock>> locks;
+  bool enforce_knowledge = true;
+  ReadySelection selection = ReadySelection::kHeap;
+
+  // Scheduling state.
+  PathSchedule sched;
+  std::vector<std::size_t> pending;
+  std::vector<Time> dep_ready;
+  std::vector<bool> started;
+  std::vector<bool> finished;
+  std::vector<Time> busy_until;
+  std::vector<TaskId> running;
+  std::vector<std::vector<Time>> known;
+  std::vector<char> seq;
+  std::size_t remaining = 0;
+  bool use_masks = false;
+
+  // Heap-mode state.
+  std::vector<std::uint64_t> known_pos;
+  std::vector<std::uint64_t> known_neg;
+  std::vector<ReadyHeap> ready;
+  std::vector<TaskId> hw_ready;
+  std::vector<TaskId> bcast_pending;
+  std::vector<TaskId> locked_tasks;
+  std::vector<std::vector<TaskId>> locks_on_res;
+
+  // Checkpoint support.
+  std::vector<Time> act;
+
+  // Step-local scratch (swap targets so the per-step rebuild of the
+  // pending/running lists stops allocating).
+  std::vector<TaskId> scratch_tasks;
+  std::vector<TaskId> scratch_running;
+  std::vector<ReadyEntry> scratch_deferred;
+};
+
+}  // namespace cps

@@ -2,47 +2,63 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <utility>
 
 #include "support/error.hpp"
 
 namespace cps {
 
-const char* to_string(ReadySelection s) {
-  switch (s) {
-    case ReadySelection::kHeap: return "heap";
-    case ReadySelection::kLinearScan: return "linear-scan";
-  }
-  return "?";
-}
-
 namespace {
 
 constexpr Time kInf = std::numeric_limits<Time>::max();
 
-/// Max-heap entry of the per-resource ready list: highest priority first,
-/// lowest task id on ties (matching the reference linear scan exactly).
-struct ReadyEntry {
-  std::int64_t prio = 0;
-  TaskId id = 0;
-};
+/// Lock of task `t` in a lock vector that may be empty (= no locks).
+const std::optional<TaskLock>& lock_at(
+    const std::vector<std::optional<TaskLock>>& locks, TaskId t) {
+  static const std::optional<TaskLock> kNone;
+  return locks.empty() ? kNone : locks[t];
+}
 
-struct ReadyCompare {
-  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
-    return a.prio < b.prio || (a.prio == b.prio && a.id > b.id);
+bool lock_sets_equal(const std::vector<std::optional<TaskLock>>& a,
+                     const std::vector<std::optional<TaskLock>>& b,
+                     std::size_t task_count) {
+  for (TaskId t = 0; t < task_count; ++t) {
+    if (lock_at(a, t) != lock_at(b, t)) return false;
   }
-};
+  return true;
+}
 
-using ReadyHeap =
-    std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyCompare>;
-
+/// The engine proper. All mutable state lives in the EngineWorkspace so
+/// repeated runs reuse capacity; the Engine object itself is a cheap
+/// per-run view binding the workspace buffers to their historical names.
 class Engine {
  public:
-  Engine(const FlatGraph& fg, EngineRequest req)
-      : fg_(fg), req_(std::move(req)) {
-    cache_ = req_.cover_cache ? req_.cover_cache : &local_cache_;
-  }
+  Engine(const FlatGraph& fg, const EngineRequest& request,
+         EngineWorkspace& ws)
+      : fg_(fg),
+        req_(request),
+        ws_(ws),
+        label_(ws.label),
+        active_(ws.active),
+        priority_(ws.priority),
+        locks_(ws.locks),
+        sched_(ws.sched),
+        pending_(ws.pending),
+        dep_ready_(ws.dep_ready),
+        started_(ws.started),
+        finished_(ws.finished),
+        busy_until_(ws.busy_until),
+        running_(ws.running),
+        known_(ws.known),
+        seq_(ws.seq),
+        known_pos_(ws.known_pos),
+        known_neg_(ws.known_neg),
+        ready_(ws.ready),
+        hw_ready_(ws.hw_ready),
+        bcast_pending_(ws.bcast_pending),
+        locked_tasks_(ws.locked_tasks),
+        locks_on_res_(ws.locks_on_res),
+        act_(ws.act) {}
 
   EngineResult run();
 
@@ -50,11 +66,11 @@ class Engine {
   bool heap_mode() const {
     return req_.selection == ReadySelection::kHeap;
   }
-  bool active(TaskId t) const { return req_.active[t]; }
+  bool active(TaskId t) const { return active_[t]; }
   bool locked(TaskId t) const {
-    return !req_.locks.empty() && req_.locks[t].has_value();
+    return !locks_.empty() && locks_[t].has_value();
   }
-  const TaskLock& lock(TaskId t) const { return *req_.locks[t]; }
+  const TaskLock& lock(TaskId t) const { return *locks_[t]; }
 
   bool deps_done(TaskId t, Time now) const {
     return pending_[t] == 0 && dep_ready_[t] <= now;
@@ -86,6 +102,17 @@ class Engine {
   void enqueue_ready(TaskId t);
   bool try_starts_heap(Time now);
 
+  // ---- checkpoint resume (EngineResume::kCheckpoint).
+
+  bool history_matches(const EngineHistory& h) const;
+  /// Earliest time the new lock set can influence the recorded run: every
+  /// checkpoint strictly before it restores a state the new run provably
+  /// reaches unchanged (see the prefix-equality argument below).
+  Time divergence_limit(const EngineHistory& h) const;
+  void restore_checkpoint(const EngineHistory& h, const EngineCheckpoint& ck);
+  void maybe_record(Time now, std::size_t steps);
+  void finalize_history(const EngineResult& out, std::size_t steps);
+
   // ---- shared machinery.
 
   bool try_starts(Time now) {
@@ -96,41 +123,60 @@ class Engine {
   EngineResult infeasible(TaskId t, const std::string& reason);
 
   const FlatGraph& fg_;
-  EngineRequest req_;
-  CoverCache local_cache_;
+  const EngineRequest& req_;  ///< validated, then snapshotted into ws_
+  EngineWorkspace& ws_;
   CoverCache* cache_ = nullptr;
+  bool recording_ = false;     ///< history metadata maintained this run
+  bool record_ckpts_ = false;  ///< per-step checkpoints recorded this run
+  Time max_duration_ = 1;
 
-  PathSchedule sched_;
-  std::vector<std::size_t> pending_;    // unfinished active preds
-  std::vector<Time> dep_ready_;         // max end over finished preds
-  std::vector<bool> started_;
-  std::vector<bool> finished_;
+  // Workspace buffers under their historical names. The engine
+  // deliberately runs its hot loops against these engine-owned snapshots:
+  // measured on the fig6 workload, touching caller-built storage (whether
+  // borrowed by reference or moved in) costs ~3x in per-path scheduling
+  // time. The workspace keeps the snapshot capacity warm across runs.
+  Cube& label_;
+  std::vector<bool>& active_;
+  std::vector<std::int64_t>& priority_;
+  std::vector<std::optional<TaskLock>>& locks_;
+
+  PathSchedule& sched_;
+  std::vector<std::size_t>& pending_;   // unfinished active preds
+  std::vector<Time>& dep_ready_;        // max end over finished preds
+  std::vector<bool>& started_;
+  std::vector<bool>& finished_;
   // Sequential resource occupancy: end time of the running task (or -1).
-  std::vector<Time> busy_until_;
+  std::vector<Time>& busy_until_;
   // Running tasks (for event extraction and completion processing).
-  std::vector<TaskId> running_;
+  std::vector<TaskId>& running_;
   // known_[res][cond]: time from which `cond` is known on `res` (kInf if
   // not yet known).
-  std::vector<std::vector<Time>> known_;
-  std::size_t remaining_ = 0;
+  std::vector<std::vector<Time>>& known_;
 
   // Per-resource "executes one task at a time" flags, cached once per run
   // (Architecture::pe() bounds-checks on every call; the hot loops ask
   // hundreds of thousands of times per merge).
-  std::vector<char> seq_;
+  std::vector<char>& seq_;
+
+  std::size_t remaining_ = 0;
 
   // Heap-mode state. Knowledge doubles as per-resource bitmasks over the
   // path label so guard coverage is a couple of AND/CMP instructions.
   // When the masks are exact (condition count <= 64) the time matrix
   // known_ is not maintained at all in heap mode.
   bool use_masks_ = false;
-  std::vector<std::uint64_t> known_pos_;  // by PeId
-  std::vector<std::uint64_t> known_neg_;  // by PeId
-  std::vector<ReadyHeap> ready_;          // by PeId (sequential only)
-  std::vector<TaskId> hw_ready_;          // dep-ready hardware tasks
-  std::vector<TaskId> bcast_pending_;     // unstarted broadcast tasks
-  std::vector<TaskId> locked_tasks_;      // active locked tasks
-  std::vector<std::vector<TaskId>> locks_on_res_;  // by PeId
+  std::vector<std::uint64_t>& known_pos_;  // by PeId
+  std::vector<std::uint64_t>& known_neg_;  // by PeId
+  std::vector<ReadyHeap>& ready_;          // by PeId (sequential only)
+  std::vector<TaskId>& hw_ready_;          // dep-ready hardware tasks
+  std::vector<TaskId>& bcast_pending_;     // unstarted broadcast tasks
+  std::vector<TaskId>& locked_tasks_;      // active locked tasks
+  std::vector<std::vector<TaskId>>& locks_on_res_;  // by PeId
+
+  // act_[t]: time the last active predecessor of t completed — the first
+  // moment t could possibly start (kInf if it never happened). Drives the
+  // checkpoint divergence analysis.
+  std::vector<Time>& act_;
 };
 
 // --------------------------------------------------------------------------
@@ -148,7 +194,7 @@ bool Engine::knowledge_ok_reference(TaskId t, Time now, PeId res) const {
 
   Cube known_cube;
   for (CondId c = 0; c < fg_.cpg().conditions().size(); ++c) {
-    const auto value = req_.label.value_of(c);
+    const auto value = label_.value_of(c);
     if (!value) continue;
     if (known_[res][c] > now) continue;
     auto next = known_cube.conjoin(Literal{c, *value});
@@ -168,7 +214,7 @@ bool Engine::knowledge_ok_reference(TaskId t, Time now, PeId res) const {
       const TaskId pred = fg_.deps().edge(e).src;
       const Dnf& pg = fg_.task(pred).guard;
       if (pg.is_true()) continue;
-      if (req_.active[pred]) {
+      if (active_[pred]) {
         if (!pg.covered_by_context(known_cube)) return false;
       } else {
         if (!pg.and_cube(known_cube).is_false()) return false;
@@ -179,11 +225,11 @@ bool Engine::knowledge_ok_reference(TaskId t, Time now, PeId res) const {
 }
 
 bool Engine::fits_reference(PeId res, Time now, Time dur) const {
-  if (req_.locks.empty()) return true;
+  if (locks_.empty()) return true;
   if (!fg_.arch().pe(res).sequential()) return true;
   for (TaskId t = 0; t < fg_.task_count(); ++t) {
     if (!active(t) || started_[t] || !locked(t)) continue;
-    const TaskLock& l = *req_.locks[t];
+    const TaskLock& l = *locks_[t];
     if (l.resource != res) continue;
     const Time lock_end = l.start + fg_.task(t).duration;
     if (l.start < now + dur && now < lock_end) return false;
@@ -252,8 +298,8 @@ bool Engine::try_starts_reference(Time now) {
         if (!deps_done(t, now)) continue;
         if (!fits_reference(res, now, task.duration)) continue;
         if (!knowledge_ok_reference(t, now, res)) continue;
-        if (!have || req_.priority[t] > req_.priority[best] ||
-            (req_.priority[t] == req_.priority[best] && t < best)) {
+        if (!have || priority_[t] > priority_[best] ||
+            (priority_[t] == priority_[best] && t < best)) {
           best = t;
           have = true;
         }
@@ -296,7 +342,7 @@ Cube Engine::known_context_full(PeId res) const {
   // cube from the time matrix (any already-recorded time is in the past).
   Cube known_cube;
   for (CondId c = 0; c < fg_.cpg().conditions().size(); ++c) {
-    const auto value = req_.label.value_of(c);
+    const auto value = label_.value_of(c);
     if (!value) continue;
     if (known_[res][c] == kInf) continue;
     auto next = known_cube.conjoin(Literal{c, *value});
@@ -347,7 +393,7 @@ bool Engine::knowledge_ok_fast(TaskId t, PeId res) const {
   if (info.conjunction) {
     for (TaskId pred : info.guarded_preds) {
       const TaskGuardInfo& pinfo = fg_.guard_info(pred);
-      if (req_.active[pred]) {
+      if (active_[pred]) {
         if (!guard_covered(fg_.task(pred).guard, pinfo, res)) return false;
       } else {
         if (!guard_disjoint(fg_.task(pred).guard, pinfo, res)) return false;
@@ -358,11 +404,11 @@ bool Engine::knowledge_ok_fast(TaskId t, PeId res) const {
 }
 
 bool Engine::fits_fast(PeId res, Time now, Time dur) const {
-  if (req_.locks.empty()) return true;
+  if (locks_.empty()) return true;
   if (!seq_[res]) return true;
   for (TaskId t : locks_on_res_[res]) {
     if (started_[t]) continue;
-    const TaskLock& l = *req_.locks[t];
+    const TaskLock& l = *locks_[t];
     const Time lock_end = l.start + fg_.task(t).duration;
     if (l.start < now + dur && now < lock_end) return false;
     if (fg_.task(t).duration == 0 && l.start >= now && l.start < now + dur) {
@@ -380,7 +426,7 @@ void Engine::enqueue_ready(TaskId t) {
   const Task& task = fg_.task(t);
   if (task.is_broadcast()) return;
   if (seq_[task.resource]) {
-    ready_[task.resource].push(ReadyEntry{req_.priority[t], t});
+    ready_[task.resource].push(ReadyEntry{priority_[t], t});
   } else {
     hw_ready_.push_back(t);
   }
@@ -404,8 +450,8 @@ bool Engine::try_starts_heap(Time now) {
   // 2. Broadcast tasks: as soon as possible on the first available
   //    all-connecting bus.
   if (!bcast_pending_.empty()) {
-    std::vector<TaskId> still;
-    still.reserve(bcast_pending_.size());
+    std::vector<TaskId>& still = ws_.scratch_tasks;
+    still.clear();
     for (TaskId t : bcast_pending_) {
       if (started_[t]) continue;
       if (!deps_done(t, now)) {
@@ -423,14 +469,14 @@ bool Engine::try_starts_heap(Time now) {
       }
       if (!started_[t]) still.push_back(t);
     }
-    bcast_pending_ = std::move(still);
+    bcast_pending_.swap(still);
   }
 
   // 3. Sequential resources: pop the per-resource ready heap in priority
   //    order; candidates blocked by a lock window or missing condition
   //    knowledge are parked and re-armed after the next successful start
   //    (a zero-duration chain may have changed the knowledge state).
-  std::vector<ReadyEntry> deferred;
+  std::vector<ReadyEntry>& deferred = ws_.scratch_deferred;
   for (PeId res : fg_.used_resources()) {
     if (!seq_[res]) continue;
     ReadyHeap& heap = ready_[res];
@@ -455,7 +501,8 @@ bool Engine::try_starts_heap(Time now) {
 
   // 4. Hardware resources run everything that is ready (the queue may grow
   //    while iterating: zero-duration completions enqueue successors).
-  std::vector<TaskId> hw_still;
+  std::vector<TaskId>& hw_still = ws_.scratch_tasks;
+  hw_still.clear();
   for (std::size_t i = 0; i < hw_ready_.size(); ++i) {
     const TaskId t = hw_ready_[i];
     if (started_[t]) continue;
@@ -467,9 +514,151 @@ bool Engine::try_starts_heap(Time now) {
     start_task(t, now, res);
     any = true;
   }
-  hw_ready_ = std::move(hw_still);
+  hw_ready_.swap(hw_still);
 
   return any;
+}
+
+// --------------------------------------------------------------------------
+// Checkpoint resume.
+//
+// A recorded run A (lock set L_A, checkpoint stream, per-task first-
+// startable times act, max active duration D) and a new request B that
+// differs only in its lock set replay *identically* through any time T
+// that no differing lock can influence:
+//
+//  * a lock influences scheduling decisions at time `now` only through
+//    the overlap probes of fits_* (which look at locks with
+//    start < now + dur, dur <= D), the locked-task start/infeasibility
+//    checks (locks with start <= now) and the event-time advance (future
+//    lock starts); with T <= start - D for every differing lock, none of
+//    those observe a difference at now <= T;
+//  * a task whose lock differs behaves differently (enters the ready
+//    structures vs waits for its reservation) only once its predecessors
+//    have completed, i.e. from act(t) on; with T < act(t) it is inert in
+//    both runs through T.
+//
+// Under those bounds the two runs make byte-identical decisions up to and
+// including the step at T, so restoring A's checkpoint at T and
+// continuing with B's locks is byte-identical to running B from scratch
+// (equivalence-tested in test_list_scheduler / test_merge_parallel).
+
+bool Engine::history_matches(const EngineHistory& h) const {
+  return h.graph_uid == fg_.uid() && h.task_count == fg_.task_count() &&
+         h.enforce_knowledge == req_.enforce_knowledge &&
+         h.label == label_ && h.active == active_ &&
+         h.priority == priority_;
+}
+
+Time Engine::divergence_limit(const EngineHistory& h) const {
+  const Time d = std::max<Time>(h.max_duration, 1);
+  Time limit = kInf;
+  for (TaskId t = 0; t < fg_.task_count(); ++t) {
+    const std::optional<TaskLock>& a = lock_at(h.locks, t);
+    const std::optional<TaskLock>& b = lock_at(locks_, t);
+    if (a == b) continue;
+    if (a) limit = std::min(limit, a->start - d + 1);
+    if (b) limit = std::min(limit, b->start - d + 1);
+    limit = std::min(limit, h.act[t]);
+  }
+  return limit;
+}
+
+void Engine::restore_checkpoint(const EngineHistory& h,
+                                const EngineCheckpoint& ck) {
+  sched_ = ck.sched;
+  pending_ = ck.pending;
+  dep_ready_ = ck.dep_ready;
+  started_ = ck.started;
+  finished_ = ck.finished;
+  busy_until_ = ck.busy_until;
+  running_ = ck.running;
+  if (!use_masks_) known_ = ck.known;
+  known_pos_ = ck.known_pos;
+  known_neg_ = ck.known_neg;
+  ready_ = ck.ready;
+  hw_ready_ = ck.hw_ready;
+  remaining_ = ck.remaining;
+  // act entries recorded after the checkpoint belong to the abandoned
+  // suffix; the continuation re-records them.
+  for (TaskId t = 0; t < fg_.task_count(); ++t) {
+    act_[t] = h.act[t] <= ck.now ? h.act[t] : kInf;
+  }
+  // Lock-derived structures are a pure function of the restored flags and
+  // the *new* lock set; rebuilding them (in task-id order, exactly like
+  // the from-scratch initialization) keeps the replay byte-identical.
+  locked_tasks_.clear();
+  locks_on_res_.assign(fg_.arch().pe_count(), {});
+  bcast_pending_.clear();
+  for (TaskId t = 0; t < fg_.task_count(); ++t) {
+    if (!active(t)) continue;
+    if (locked(t)) {
+      locked_tasks_.push_back(t);
+      locks_on_res_[lock(t).resource].push_back(t);
+      continue;
+    }
+    if (fg_.task(t).is_broadcast() && !started_[t]) {
+      bcast_pending_.push_back(t);
+    }
+  }
+}
+
+void Engine::maybe_record(Time now, std::size_t steps) {
+  EngineHistory& h = *req_.history;
+  if (++h.since_record < h.stride) return;
+  h.since_record = 0;
+  if (h.ckpt_count == EngineHistory::kMaxCheckpoints) {
+    // Thin: keep every second checkpoint, double the stride. Swapping
+    // (not move-assigning) keeps the dropped slots' buffer capacity warm
+    // for the next records into them.
+    for (std::size_t i = 1, j = 2; j < h.ckpt_count; ++i, j += 2) {
+      std::swap(h.ckpts[i], h.ckpts[j]);
+    }
+    h.ckpt_count = (h.ckpt_count + 1) / 2;
+    h.stride *= 2;
+  }
+  if (h.ckpts.size() <= h.ckpt_count) h.ckpts.emplace_back();
+  EngineCheckpoint& ck = h.ckpts[h.ckpt_count++];
+  ck.now = now;
+  ck.steps = steps;
+  ck.remaining = remaining_;
+  ck.sched = sched_;
+  ck.pending = pending_;
+  ck.dep_ready = dep_ready_;
+  ck.started = started_;
+  ck.finished = finished_;
+  ck.busy_until = busy_until_;
+  ck.running = running_;
+  if (!use_masks_) {
+    ck.known = known_;
+  } else {
+    ck.known.clear();
+  }
+  ck.known_pos = known_pos_;
+  ck.known_neg = known_neg_;
+  ck.ready = ready_;
+  ck.hw_ready = hw_ready_;
+  ++ws_.stats.checkpoints;
+}
+
+void Engine::finalize_history(const EngineResult& out, std::size_t steps) {
+  EngineHistory& h = *req_.history;
+  h.graph_uid = fg_.uid();
+  h.task_count = fg_.task_count();
+  h.label = label_;
+  h.active = active_;
+  h.priority = priority_;
+  h.enforce_knowledge = req_.enforce_knowledge;
+  h.locks = locks_;
+  h.lock_fingerprint = lock_set_fingerprint(h.locks);
+  h.act = act_;
+  h.max_duration = max_duration_;
+  h.feasible = out.feasible;
+  if (out.feasible) h.final_schedule = sched_;
+  h.offending_lock = out.offending_lock;
+  h.reason = out.reason;
+  h.total_steps = steps;
+  h.valid = true;
 }
 
 // --------------------------------------------------------------------------
@@ -501,7 +690,10 @@ void Engine::complete_task(TaskId t, Time now) {
     CPS_ASSERT(pending_[succ] > 0, "predecessor bookkeeping underflow");
     --pending_[succ];
     dep_ready_[succ] = std::max(dep_ready_[succ], now);
-    if (heap && pending_[succ] == 0) enqueue_ready(succ);
+    if (pending_[succ] == 0) {
+      act_[succ] = now;
+      if (heap) enqueue_ready(succ);
+    }
   }
   // Knowledge updates. With exact masks the per-resource words are the
   // whole knowledge state (the known_ time matrix is not even allocated);
@@ -510,7 +702,7 @@ void Engine::complete_task(TaskId t, Time now) {
     if (use_masks_) {
       // The per-resource words are the whole knowledge state; the known_
       // time matrix is not even allocated in this mode.
-      if (const auto value = req_.label.value_of(c)) {
+      if (const auto value = label_.value_of(c)) {
         (*value ? known_pos_ : known_neg_)[res] |= std::uint64_t{1} << c;
       }
       return;
@@ -548,7 +740,49 @@ EngineResult Engine::run() {
   CPS_REQUIRE(req_.locks.empty() || req_.locks.size() == n,
               "locks vector size mismatch");
 
-  sched_ = PathSchedule(n);
+  // Bind the workspace to this graph: the private cover cache memoizes
+  // guard addresses of exactly one FlatGraph.
+  if (ws_.bound_graph_uid != fg_.uid()) {
+    ws_.private_cache.clear();
+    ws_.bound_graph_uid = fg_.uid();
+  }
+  ++ws_.stats.runs;
+  if (ws_.warm) ++ws_.stats.reuse_hits;
+  ws_.warm = true;
+
+  // Snapshot the request into workspace-owned storage (capacity-reusing
+  // assignments; see the member comment for why the hot loops must not
+  // touch caller storage).
+  label_ = req_.label;
+  active_ = req_.active;
+  priority_ = req_.priority;
+  locks_ = req_.locks;
+  cache_ = req_.cover_cache ? req_.cover_cache : &ws_.private_cache;
+
+  // Checkpoint resume: only the heap engine records/resumes (the
+  // linear-scan reference always runs from scratch).
+  recording_ = req_.history != nullptr &&
+               req_.resume == EngineResume::kCheckpoint && heap_mode();
+  const bool history_usable =
+      recording_ && req_.history->valid && history_matches(*req_.history);
+  if (history_usable) {
+    EngineHistory& h = *req_.history;
+    if (lock_set_fingerprint(locks_) == h.lock_fingerprint &&
+        lock_sets_equal(h.locks, locks_, n)) {
+      // The whole recorded run applies: return its outcome unchanged,
+      // without initializing (let alone stepping) any engine state.
+      ++ws_.stats.full_reuses;
+      EngineResult out;
+      out.feasible = h.feasible;
+      if (h.feasible) out.schedule = h.final_schedule;
+      out.offending_lock = h.offending_lock;
+      out.reason = h.reason;
+      out.full_reuse = true;
+      return out;
+    }
+  }
+
+  sched_.reset(n);
   pending_.assign(n, 0);
   dep_ready_.assign(n, 0);
   started_.assign(n, false);
@@ -563,13 +797,20 @@ EngineResult Engine::run() {
     known_.assign(fg_.arch().pe_count(),
                   std::vector<Time>(fg_.cpg().conditions().size(), kInf));
   }
+  running_.clear();
+  act_.assign(n, kInf);
+  max_duration_ = 1;
   remaining_ = 0;
   for (TaskId t = 0; t < n; ++t) {
     if (!active(t)) continue;
     ++remaining_;
+    max_duration_ = std::max(max_duration_, fg_.task(t).duration);
     for (EdgeId e : fg_.deps().in_edges(t)) {
       if (active(fg_.deps().edge(e).src)) ++pending_[t];
     }
+  }
+  for (TaskId t = 0; t < n; ++t) {
+    if (active(t) && pending_[t] == 0) act_[t] = 0;
   }
 
   if (heap_mode()) {
@@ -577,6 +818,9 @@ EngineResult Engine::run() {
     known_neg_.assign(fg_.arch().pe_count(), 0);
     ready_.assign(fg_.arch().pe_count(), ReadyHeap());
     locks_on_res_.assign(fg_.arch().pe_count(), {});
+    locked_tasks_.clear();
+    bcast_pending_.clear();
+    hw_ready_.clear();
     for (TaskId t = 0; t < n; ++t) {
       if (!active(t)) continue;
       if (locked(t)) {
@@ -593,31 +837,95 @@ EngineResult Engine::run() {
   }
 
   Time now = 0;
+  std::size_t steps = 0;
+  bool resumed = false;
+  bool resumed_step_pending = false;
+  std::size_t resumed_steps = 0;
+  if (recording_) {
+    EngineHistory& h = *req_.history;
+    if (history_usable) {
+      const Time limit = divergence_limit(h);
+      const EngineCheckpoint* best = nullptr;
+      std::size_t best_idx = 0;
+      for (std::size_t i = 0; i < h.ckpt_count; ++i) {
+        if (h.ckpts[i].now < limit) {
+          best = &h.ckpts[i];
+          best_idx = i;
+        }
+      }
+      if (best != nullptr) {
+        restore_checkpoint(h, *best);
+        now = best->now;
+        steps = best->steps;
+        resumed = true;
+        resumed_step_pending = true;  // the step at `now` is already done
+        resumed_steps = best->steps;
+        h.ckpt_count = best_idx + 1;  // the suffix belongs to the old run
+        ++ws_.stats.resumes;
+        ws_.stats.resumed_steps += resumed_steps;
+      }
+    }
+    if (!resumed) {
+      h.invalidate();
+      ++ws_.stats.from_scratch;
+    } else {
+      h.since_record = 0;
+      h.valid = false;  // consistent again once finalize_history runs
+    }
+    // Demand-driven recording: this run is worth checkpointing if the
+    // caller said so up front (eager) or a same-identity rerun has been
+    // observed — which includes this very run: history_usable means the
+    // identity matched but the locks did not (the full-reuse test above
+    // already failed), i.e. reruns demonstrably happen on this history.
+    h.record = history_usable;
+    record_ckpts_ = h.eager || h.record;
+  }
+
   while (remaining_ > 0) {
     // Start everything that can start at `now` (repeat until fixpoint:
     // zero-duration completions can enable further starts at this time).
-    while (try_starts(now)) {
+    // A resumed run's first step was already committed by the recorded
+    // prefix — its fixpoint is part of the restored state.
+    if (!resumed_step_pending) {
+      while (try_starts(now)) {
+      }
     }
 
     if (remaining_ == 0) break;
 
     // A locked task whose start time has arrived but which could not be
-    // started is a hard failure: the reservation cannot be honored.
-    for (TaskId t = 0; t < n; ++t) {
+    // started is a hard failure: the reservation cannot be honored. Heap
+    // mode walks its locked-task list (same tasks, same id order) instead
+    // of scanning the whole task vector every step.
+    const bool heap = heap_mode();
+    const std::size_t locked_n = heap ? locked_tasks_.size() : n;
+    for (std::size_t i = 0; i < locked_n; ++i) {
+      const TaskId t = heap ? locked_tasks_[i] : static_cast<TaskId>(i);
       if (active(t) && locked(t) && !started_[t] && lock(t).start <= now) {
-        return infeasible(
+        EngineResult out = infeasible(
             t, "locked task " + fg_.task(t).name +
                    " cannot start at its reserved time " +
                    std::to_string(lock(t).start));
+        out.resumed = resumed;
+        out.resumed_steps = resumed_steps;
+        if (recording_) finalize_history(out, steps);
+        return out;
       }
     }
+
+    if (!resumed_step_pending) {
+      ++steps;
+      if (record_ckpts_) maybe_record(now, steps);
+    }
+    resumed_step_pending = false;
 
     // Advance to the next event: a completion or a future lock start.
     Time next = kInf;
     for (TaskId t : running_) {
       if (!finished_[t]) next = std::min(next, sched_.slot(t).end);
     }
-    for (TaskId t = 0; t < n; ++t) {
+    for (std::size_t i = 0; i < locked_n; ++i) {
+      const TaskId t = heap ? locked_tasks_[i] : static_cast<TaskId>(i);
       if (active(t) && locked(t) && !started_[t]) {
         next = std::min(next, lock(t).start);
       }
@@ -627,12 +935,15 @@ EngineResult Engine::run() {
       out.feasible = false;
       out.reason = "scheduling deadlock (no startable task and no pending "
                    "event)";
+      out.resumed = resumed;
+      out.resumed_steps = resumed_steps;
+      if (recording_) finalize_history(out, steps);
       return out;
     }
     now = next;
     // Process completions at `now`.
-    std::vector<TaskId> still_running;
-    still_running.reserve(running_.size());
+    std::vector<TaskId>& still_running = ws_.scratch_running;
+    still_running.clear();
     for (TaskId t : running_) {
       if (finished_[t]) continue;
       if (sched_.slot(t).end == now) {
@@ -641,33 +952,45 @@ EngineResult Engine::run() {
         still_running.push_back(t);
       }
     }
-    running_ = std::move(still_running);
+    running_.swap(still_running);
   }
 
   EngineResult out;
   out.feasible = true;
-  out.schedule = std::move(sched_);
+  out.resumed = resumed;
+  out.resumed_steps = resumed_steps;
+  if (recording_) finalize_history(out, steps);
+  out.schedule = sched_;  // copy: the workspace keeps its capacity warm
   return out;
 }
 
 }  // namespace
 
 EngineResult run_list_scheduler(const FlatGraph& fg,
-                                const EngineRequest& request) {
-  Engine engine(fg, request);
+                                const EngineRequest& request,
+                                EngineWorkspace& workspace) {
+  Engine engine(fg, request, workspace);
   return engine.run();
+}
+
+EngineResult run_list_scheduler(const FlatGraph& fg,
+                                const EngineRequest& request) {
+  EngineWorkspace workspace;
+  return run_list_scheduler(fg, request, workspace);
 }
 
 PathSchedule schedule_path(const FlatGraph& fg, const AltPath& path,
                            PriorityPolicy policy, Rng* rng,
-                           ReadySelection selection, CoverCache* cover_cache) {
+                           ReadySelection selection, CoverCache* cover_cache,
+                           EngineWorkspace* workspace) {
   EngineRequest req;
   req.label = path.label;
   req.active = fg.active_tasks(path.label, cover_cache);
   req.priority = compute_priorities(fg, req.active, policy, rng);
   req.selection = selection;
   req.cover_cache = cover_cache;
-  EngineResult res = run_list_scheduler(fg, req);
+  EngineResult res = workspace ? run_list_scheduler(fg, req, *workspace)
+                               : run_list_scheduler(fg, req);
   CPS_ASSERT(res.feasible,
              "validated CPG path must be schedulable: " + res.reason);
   return std::move(res.schedule);

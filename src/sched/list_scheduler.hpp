@@ -28,35 +28,11 @@
 #include <vector>
 
 #include "cpg/flat_graph.hpp"
+#include "sched/engine_workspace.hpp"
 #include "sched/priority.hpp"
 #include "sched/schedule.hpp"
 
 namespace cps {
-
-/// A fixed reservation for a task (merge adjustment).
-struct TaskLock {
-  Time start = 0;
-  PeId resource = 0;
-
-  friend bool operator==(const TaskLock& a, const TaskLock& b) {
-    return a.start == b.start && a.resource == b.resource;
-  }
-  friend bool operator!=(const TaskLock& a, const TaskLock& b) {
-    return !(a == b);
-  }
-};
-
-/// Ready-task selection strategy.
-///
-/// kHeap is the production engine: per-resource lazy max-heaps keyed by
-/// (priority, task id), precomputed guard masks and a memoized DNF cover
-/// cache. kLinearScan preserves the original O(V^2) engine byte-for-byte
-/// (full task scans, per-step DNF re-evaluation); it exists as the
-/// equivalence-test reference and performance baseline. Both produce
-/// identical schedules on identical requests.
-enum class ReadySelection : std::uint8_t { kHeap, kLinearScan };
-
-const char* to_string(ReadySelection s);
 
 struct EngineRequest {
   /// Path label: provides the value of every condition the guards can see.
@@ -72,9 +48,17 @@ struct EngineRequest {
   /// Ready-task selection strategy (see ReadySelection).
   ReadySelection selection = ReadySelection::kHeap;
   /// Optional shared DNF cover cache (non-owning; must outlive the run and
-  /// memoize guards of the same FlatGraph). The engine uses a private
-  /// cache when null. Ignored by kLinearScan.
+  /// memoize guards of the same FlatGraph). The engine uses the
+  /// workspace's private cache when null. Ignored by kLinearScan.
   CoverCache* cover_cache = nullptr;
+  /// Incremental rescheduling knob (see EngineResume). Only effective
+  /// with kHeap selection and a non-null `history`.
+  EngineResume resume = EngineResume::kFromScratch;
+  /// Checkpoint stream to resume from and re-record into (non-owning;
+  /// must outlive the run). The caller guarantees that every run handed
+  /// the same history differs from the recorded one at most in `locks`
+  /// (the engine verifies and falls back to from-scratch otherwise).
+  EngineHistory* history = nullptr;
 };
 
 struct EngineResult {
@@ -84,14 +68,28 @@ struct EngineResult {
   /// time, the offending task (lets the merge relax that lock).
   std::optional<TaskId> offending_lock;
   std::string reason;
+  /// This run resumed from a checkpoint of `request.history`, skipping
+  /// `resumed_steps` committed time steps.
+  bool resumed = false;
+  std::size_t resumed_steps = 0;
+  /// The request's lock set matched the recorded run exactly: the result
+  /// is the recorded outcome, no engine step was executed.
+  bool full_reuse = false;
 };
 
-/// Run the engine. Never throws on schedulable input; reports
-/// infeasibility through the result. The engine deliberately snapshots
-/// the request into freshly allocated, engine-owned vectors: measured on
-/// the fig6 workload, running the hot loops against caller-built storage
-/// (whether borrowed by reference or moved in) costs ~3x in per-path
-/// scheduling time, so there is intentionally no move/borrow overload.
+/// Run the engine against a caller-provided reusable workspace: the
+/// request is snapshotted into the workspace's engine-owned buffers
+/// (capacity-preserving assignment — the hot loops never touch caller
+/// storage, which measured ~3x slower whether borrowed by reference or
+/// moved in), and all scheduling state lives in the workspace so repeated
+/// calls stop reallocating. Never throws on schedulable input; reports
+/// infeasibility through the result. One workspace serves one thread.
+EngineResult run_list_scheduler(const FlatGraph& fg,
+                                const EngineRequest& request,
+                                EngineWorkspace& workspace);
+
+/// Convenience overload running on a throwaway workspace (tests, one-shot
+/// callers). Hot paths should hold a workspace and use the overload above.
 EngineResult run_list_scheduler(const FlatGraph& fg,
                                 const EngineRequest& request);
 
@@ -102,6 +100,6 @@ PathSchedule schedule_path(
     const FlatGraph& fg, const AltPath& path,
     PriorityPolicy policy = PriorityPolicy::kCriticalPath,
     Rng* rng = nullptr, ReadySelection selection = ReadySelection::kHeap,
-    CoverCache* cover_cache = nullptr);
+    CoverCache* cover_cache = nullptr, EngineWorkspace* workspace = nullptr);
 
 }  // namespace cps

@@ -34,24 +34,36 @@ namespace {
 
 constexpr Time kInf = std::numeric_limits<Time>::max();
 
+/// Raised by the walk when an adjustment is unschedulable even after
+/// relaxing every relaxable lock; caught by Merger::run and reported
+/// through MergeResult::ok/error (never escapes merge_schedules).
+struct MergeInfeasible {
+  std::string reason;
+};
+
 /// Engine run + lock-relaxation loop of one adjustment (paper §5.1): runs
 /// the list scheduler, dropping any rule-3 lock that turns out infeasible
 /// on the new path (rare; counted). Mutates base.locks to the final
 /// (possibly relaxed) set. Pure in the inputs — no table, RNG or stats
-/// access — which is exactly what makes it speculatable off-thread.
+/// access — which is exactly what makes it speculatable off-thread. The
+/// workspace provides reusable engine buffers; base.history (if set)
+/// carries the checkpoint stream for incremental resume.
 struct AdjustEngineRun {
+  bool ok = true;
+  std::string error;  ///< non-empty iff !ok
   PathSchedule schedule;
   std::size_t relaxed = 0;
 };
 
 AdjustEngineRun run_adjust_engine(const FlatGraph& fg, EngineRequest& base,
-                                  bool trace) {
+                                  bool trace, EngineWorkspace& ws) {
   AdjustEngineRun out;
   EngineResult result;
   while (true) {
-    result = run_list_scheduler(fg, base);
+    result = run_list_scheduler(fg, base, ws);
     if (result.feasible) break;
-    if (result.offending_lock && base.locks[*result.offending_lock]) {
+    if (result.offending_lock && !base.locks.empty() &&
+        base.locks[*result.offending_lock]) {
       if (trace) {
         std::cerr << "[merge]   RELAX lock on "
                   << fg.task(*result.offending_lock).name << " ("
@@ -61,7 +73,12 @@ AdjustEngineRun run_adjust_engine(const FlatGraph& fg, EngineRequest& base,
       ++out.relaxed;
       continue;
     }
-    CPS_ASSERT(false, "adjustment unschedulable: " + result.reason);
+    // No relaxable lock left: the adjustment cannot be scheduled. This
+    // never happens on validated CPGs; report it instead of aborting so
+    // Release callers get a recoverable MergeResult error.
+    out.ok = false;
+    out.error = "adjustment unschedulable: " + result.reason;
+    return out;
   }
   out.schedule = std::move(result.schedule);
   return out;
@@ -83,6 +100,19 @@ struct SpecJob {
   EngineRequest base;
   /// Spawn-time rule-3 locks, kept for the commit-time validation.
   std::vector<std::optional<TaskLock>> spawn_locks;
+  /// Job-local checkpoint stream (base.history points here). The worker
+  /// records it eagerly — off the walk's critical path — so that a
+  /// commit-time lock-set miss re-runs incrementally: the fresh locks
+  /// typically differ from the spawn-time set only by the few rule-3
+  /// locks the sibling subtree added, and the re-run resumes from the
+  /// last checkpoint before that divergence instead of t=0. Ownership
+  /// follows the claim flag: the worker writes it while running, the
+  /// walking thread touches it only after wait().
+  EngineHistory history;
+  /// Per-worker engine workspaces of the owning merger. Only dereferenced
+  /// by the pool worker that wins the claim — the merger (and therefore
+  /// the slots) outlives every claimed job.
+  WorkerLocal<EngineWorkspace>* workspaces = nullptr;
 
   AdjustEngineRun result;
   std::exception_ptr error;
@@ -90,7 +120,8 @@ struct SpecJob {
   /// Run the engine (claim must already be won by the caller).
   void run() {
     try {
-      result = run_adjust_engine(*fg, base, /*trace=*/false);
+      result = run_adjust_engine(*fg, base, /*trace=*/false,
+                                 workspaces->local());
     } catch (...) {
       error = std::current_exception();
     }
@@ -119,15 +150,7 @@ class Merger {
         rng_(options.random_seed),
         table_(fg) {}
 
-  ~Merger() {
-    // Claim every outstanding job so no pool worker can touch a request
-    // that borrows from this object after it is gone (only relevant when
-    // run() unwinds through an exception; a normal walk commits — and
-    // therefore claims — every job it spawned).
-    for (const std::shared_ptr<SpecJob>& job : outstanding_) {
-      if (job->claimed.exchange(true)) job->wait();
-    }
-  }
+  ~Merger() { drain_outstanding(); }
 
   MergeResult run();
 
@@ -139,11 +162,19 @@ class Merger {
   void place(const PathSchedule& s, const Cube& label, TaskId t);
 
   /// Engine request for adjusting path `cur` (everything but the locks).
+  /// The in-place form re-assigns into an existing request so the serial
+  /// walk reuses one buffer across all its adjustments.
+  void fill_base_request(std::size_t cur, EngineRequest& base);
   EngineRequest base_request(std::size_t cur);
   /// Rule-3 lock derivation against the current table state: lock every
   /// active task whose activation time was already fixed in a column
   /// decided entirely at ancestors of the branching node. `count`
-  /// receives the number of locks found.
+  /// receives the number of locks found. The in-place form re-assigns an
+  /// existing vector (capacity reuse on the walking thread).
+  void rule3_locks_into(const Cube& ancestors, const Cube& decided,
+                        const std::vector<bool>& active,
+                        std::vector<std::optional<TaskLock>>& locks,
+                        std::size_t* count) const;
   std::vector<std::optional<TaskLock>> rule3_locks(
       const Cube& ancestors, const Cube& decided,
       const std::vector<bool>& active, std::size_t* count) const;
@@ -161,6 +192,18 @@ class Merger {
   void dfs(const Cube& decided, std::size_t cur, const PathSchedule& sched,
            std::vector<bool> done);
 
+  /// Claim every outstanding job so no pool worker can touch a request
+  /// (or workspace slot) that borrows from this object after it is gone,
+  /// and wait out the ones that are running. A normal walk commits — and
+  /// therefore claims — every job it spawned; this matters when the walk
+  /// unwinds through an exception.
+  void drain_outstanding() {
+    for (const std::shared_ptr<SpecJob>& job : outstanding_) {
+      if (job->claimed.exchange(true)) job->wait();
+    }
+    outstanding_.clear();
+  }
+
   const FlatGraph& fg_;
   const std::vector<AltPath>& paths_;
   const std::vector<PathSchedule>& scheds_;
@@ -172,8 +215,21 @@ class Merger {
   /// Memoized guard-cover results shared by every walking-thread
   /// adjustment run (the same (guard, known-conditions) queries recur
   /// across paths). Never handed to pool workers — speculative engine
-  /// runs use their own private caches.
+  /// runs use their per-worker workspaces' private caches.
   CoverCache cache_;
+  /// Reusable engine buffers for every walking-thread engine run
+  /// (adjustments, conflict trials, speculative-miss reruns), plus the
+  /// request buffer the serial adjustments re-fill instead of
+  /// reallocating. Safe to share across the walk: adjustments never
+  /// overlap (dfs recurses only after the adjustment fully resolved).
+  EngineWorkspace walk_ws_;
+  EngineRequest walk_base_;
+  /// Per-path checkpoint streams for incremental prefix rescheduling
+  /// (EngineResume::kCheckpoint). Walking-thread property: speculative
+  /// off-thread runs never see them, so there is no cross-thread sharing
+  /// — and since resumed runs are byte-identical to from-scratch runs,
+  /// the table stays identical whether or not a given run resumed.
+  std::vector<EngineHistory> histories_;
   /// Per-path active-task vectors, computed once per path on demand.
   std::vector<std::vector<bool>> active_cache_;
   std::vector<bool> active_cached_;
@@ -184,6 +240,10 @@ class Merger {
   bool speculative_ = false;
   ThreadPool* pool_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;
+  /// One engine workspace per pool worker (plus the spare slot that
+  /// WorkerLocal reserves for the walking thread, unused here — the walk
+  /// runs on walk_ws_).
+  std::unique_ptr<WorkerLocal<EngineWorkspace>> worker_ws_;
   std::vector<std::shared_ptr<SpecJob>> outstanding_;
 };
 
@@ -283,8 +343,7 @@ void Merger::place(const PathSchedule& s, const Cube& label, TaskId t) {
   if (res == AddEntryResult::kClash) ++stats_.column_clashes;
 }
 
-EngineRequest Merger::base_request(std::size_t cur) {
-  EngineRequest base;
+void Merger::fill_base_request(std::size_t cur, EngineRequest& base) {
   base.label = paths_[cur].label;
   base.active = active_of(cur);
   base.selection = opts_.ready;
@@ -295,13 +354,22 @@ EngineRequest Merger::base_request(std::size_t cur) {
   for (TaskId t = 0; t < fg_.task_count(); ++t) {
     if (orig.scheduled(t)) base.priority[t] = -orig.slot(t).start;
   }
+  base.cover_cache = nullptr;
+  base.resume = EngineResume::kFromScratch;
+  base.history = nullptr;
+}
+
+EngineRequest Merger::base_request(std::size_t cur) {
+  EngineRequest base;
+  fill_base_request(cur, base);
   return base;
 }
 
-std::vector<std::optional<TaskLock>> Merger::rule3_locks(
-    const Cube& ancestors, const Cube& decided,
-    const std::vector<bool>& active, std::size_t* count) const {
-  std::vector<std::optional<TaskLock>> locks(fg_.task_count(), std::nullopt);
+void Merger::rule3_locks_into(const Cube& ancestors, const Cube& decided,
+                              const std::vector<bool>& active,
+                              std::vector<std::optional<TaskLock>>& locks,
+                              std::size_t* count) const {
+  locks.assign(fg_.task_count(), std::nullopt);
   std::size_t found = 0;
   for (TaskId t = 0; t < fg_.task_count(); ++t) {
     if (!active[t]) continue;
@@ -319,6 +387,13 @@ std::vector<std::optional<TaskLock>> Merger::rule3_locks(
     }
   }
   if (count != nullptr) *count = found;
+}
+
+std::vector<std::optional<TaskLock>> Merger::rule3_locks(
+    const Cube& ancestors, const Cube& decided,
+    const std::vector<bool>& active, std::size_t* count) const {
+  std::vector<std::optional<TaskLock>> locks;
+  rule3_locks_into(ancestors, decided, active, locks, count);
   return locks;
 }
 
@@ -356,7 +431,9 @@ PathSchedule Merger::resolve_conflicts(EngineRequest& base, std::size_t cur,
     for (const TableEntry& cand : w) {
       auto trial = base;
       trial.locks[*conflict_task] = TaskLock{cand.start, cand.resource};
-      EngineResult tr = run_list_scheduler(fg_, trial);
+      // The trial differs from `base` in exactly one lock — the shape the
+      // checkpoint resume (carried by base.history) accelerates best.
+      EngineResult tr = run_list_scheduler(fg_, trial, walk_ws_);
       if (!tr.feasible) continue;
       const Cube col = column_for(tr.schedule, path.label, *conflict_task);
       if (!table_
@@ -397,13 +474,17 @@ PathSchedule Merger::adjust(const Cube& ancestors, const Cube& decided,
               << decided.to_string() << " ancestors "
               << ancestors.to_string() << "\n";
   }
-  EngineRequest base = base_request(cur);
+  EngineRequest& base = walk_base_;
+  fill_base_request(cur, base);
   std::size_t lock_count = 0;
-  base.locks = rule3_locks(ancestors, decided, base.active, &lock_count);
+  rule3_locks_into(ancestors, decided, base.active, base.locks, &lock_count);
   stats_.locks += lock_count;
   base.cover_cache = &cache_;
+  base.resume = opts_.resume;
+  base.history = &histories_[cur];
 
-  AdjustEngineRun run = run_adjust_engine(fg_, base, opts_.trace);
+  AdjustEngineRun run = run_adjust_engine(fg_, base, opts_.trace, walk_ws_);
+  if (!run.ok) throw MergeInfeasible{run.error};
   stats_.relaxed_locks += run.relaxed;
   return resolve_conflicts(base, cur, std::move(run.schedule));
 }
@@ -415,12 +496,18 @@ std::shared_ptr<SpecJob> Merger::spawn(const Cube& ancestors,
   job->fg = &fg_;
   job->base = base_request(cur);
   // The speculative engine run happens off-thread: no shared cover cache
-  // (CoverCache is not thread-safe; the engine falls back to a private
-  // one) and locks derived from the table as of spawn time.
+  // (CoverCache is not thread-safe; the engine uses the worker slot's
+  // private one), no per-path history (histories_ belongs to the walking
+  // thread — the job records into its own), and locks derived from the
+  // table as of spawn time.
   job->base.cover_cache = nullptr;
+  job->base.resume = opts_.resume;
+  job->base.history = &job->history;
+  job->history.eager = true;
   job->base.locks = rule3_locks(ancestors, decided, job->base.active,
                                 nullptr);
   job->spawn_locks = job->base.locks;
+  job->workspaces = worker_ws_.get();
   outstanding_.push_back(job);
   pool_->submit([job] {
     if (job->claimed.exchange(true)) return;  // the walk got there first
@@ -458,7 +545,11 @@ PathSchedule Merger::commit(SpecJob& job, const Cube& ancestors,
     job.cv.notify_all();
     job.base.locks = std::move(fresh);
     job.base.cover_cache = &cache_;
-    AdjustEngineRun run = run_adjust_engine(fg_, job.base, false);
+    // Running inline on the walking thread: demand-driven recording only
+    // (eager recording is only free when a worker pays for it).
+    job.history.eager = false;
+    AdjustEngineRun run = run_adjust_engine(fg_, job.base, false, walk_ws_);
+    if (!run.ok) throw MergeInfeasible{run.error};
     stats_.relaxed_locks += run.relaxed;
     return resolve_conflicts(job.base, cur, std::move(run.schedule));
   }
@@ -470,11 +561,13 @@ PathSchedule Merger::commit(SpecJob& job, const Cube& ancestors,
     // The sibling subtree fixed no additional rule-3 locks: the
     // speculated engine run is exactly what the serial walk would have
     // computed (locks in, relaxations and schedule out).
+    if (!job.result.ok) throw MergeInfeasible{job.result.error};
     stats_.relaxed_locks += job.result.relaxed;
     return resolve_conflicts(job.base, cur, std::move(job.result.schedule));
   }
   job.base.locks = std::move(fresh);
-  AdjustEngineRun run = run_adjust_engine(fg_, job.base, false);
+  AdjustEngineRun run = run_adjust_engine(fg_, job.base, false, walk_ws_);
+  if (!run.ok) throw MergeInfeasible{run.error};
   stats_.relaxed_locks += run.relaxed;
   return resolve_conflicts(job.base, cur, std::move(run.schedule));
 }
@@ -561,8 +654,10 @@ MergeResult Merger::run() {
       owned_pool_ = std::make_unique<ThreadPool>(opts_.threads);
       pool_ = owned_pool_.get();
     }
+    worker_ws_ = std::make_unique<WorkerLocal<EngineWorkspace>>(*pool_);
   }
 
+  histories_.resize(paths_.size());
   label_masks_ = collect_label_masks(paths_);
   deltas_.resize(paths_.size());
   for (std::size_t i = 0; i < paths_.size(); ++i) {
@@ -571,9 +666,27 @@ MergeResult Merger::run() {
   std::vector<std::size_t> all(paths_.size());
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
   const std::size_t cur = select(all);
-  dfs(Cube::top(), cur, scheds_[cur],
-      std::vector<bool>(fg_.task_count(), false));
-  return MergeResult{std::move(table_), stats_, cache_.stats()};
+
+  bool ok = true;
+  std::string error;
+  try {
+    dfs(Cube::top(), cur, scheds_[cur],
+        std::vector<bool>(fg_.task_count(), false));
+  } catch (const MergeInfeasible& e) {
+    ok = false;
+    error = e.reason;
+  }
+  // Quiesce the speculation machinery before reading worker state (only
+  // the infeasible path can leave un-committed jobs behind).
+  drain_outstanding();
+
+  WorkspaceStats workspace = walk_ws_.stats;
+  if (worker_ws_ != nullptr) {
+    worker_ws_->for_each(
+        [&workspace](EngineWorkspace& ws) { workspace += ws.stats; });
+  }
+  return MergeResult{std::move(table_), stats_, cache_.stats(),
+                     workspace, ok, std::move(error)};
 }
 
 }  // namespace

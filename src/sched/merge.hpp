@@ -82,6 +82,14 @@ struct MergeOptions {
   /// invocation. Must outlive the merge call. nullptr = resolve from
   /// `threads`.
   ThreadPool* pool = nullptr;
+  /// Incremental prefix rescheduling of the walking thread's adjustment
+  /// engine runs (see EngineResume): with kCheckpoint (production), each
+  /// run records a checkpoint stream into a per-path EngineHistory and a
+  /// later adjustment of the same path resumes from the last checkpoint
+  /// preceding its rule-3 lock-set divergence, instead of rescheduling
+  /// from t=0. Byte-identical to kFromScratch (the retained reference) at
+  /// every thread count and execution mode.
+  EngineResume resume = EngineResume::kCheckpoint;
   /// Trace the decision-tree walk, locks and conflicts to stderr
   /// (debugging aid; forces the serial walk).
   bool trace = false;
@@ -124,10 +132,25 @@ struct MergeResult {
   /// these counters (unlike everything in `stats`) may vary with thread
   /// count and are excluded from byte-identical outputs.
   CoverCacheStats cover_cache;
+  /// Aggregated engine-workspace counters (walking thread + speculative
+  /// workers): buffer reuse, checkpoint resumes vs from-scratch runs,
+  /// resumed steps. Like `cover_cache`, deterministic under kSerial but
+  /// timing-dependent under speculation (whether a given adjustment runs
+  /// inline or on a worker decides which counters it hits), so excluded
+  /// from byte-identical outputs.
+  WorkspaceStats workspace;
+  /// False when an adjustment was unschedulable even after relaxing every
+  /// relaxable lock (never happens on validated CPGs; previously this
+  /// aborted via an internal assertion). The table then holds the walk's
+  /// progress up to the failure and must not be used.
+  bool ok = true;
+  std::string error;  ///< non-empty iff !ok
 };
 
 /// Merge the per-path schedules into a schedule table. `paths` and
 /// `schedules` are parallel arrays (one optimal PathSchedule per AltPath).
+/// Adjustment infeasibility is reported through MergeResult::ok/error
+/// rather than thrown.
 MergeResult merge_schedules(const FlatGraph& fg,
                             const std::vector<AltPath>& paths,
                             const std::vector<PathSchedule>& schedules,

@@ -22,6 +22,10 @@ class PathSchedule {
   PathSchedule() = default;
   explicit PathSchedule(std::size_t task_count) : slots_(task_count) {}
 
+  /// Re-initialize to `task_count` empty slots, reusing capacity (the
+  /// allocation-free equivalent of `*this = PathSchedule(task_count)`).
+  void reset(std::size_t task_count) { slots_.assign(task_count, Slot{}); }
+
   std::size_t task_count() const { return slots_.size(); }
 
   const Slot& slot(TaskId t) const {

@@ -12,11 +12,20 @@ std::size_t ThreadPool::resolve_threads(std::size_t requested) {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+namespace {
+
+// Identity of the calling thread: the pool it works for (if any) and its
+// index there. Set once at worker startup; read by worker_index().
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_index = ThreadPool::kNotAWorker;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = resolve_threads(threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -44,7 +53,13 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+std::size_t ThreadPool::worker_index() const {
+  return tls_pool == this ? tls_index : kNotAWorker;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_pool = this;
+  tls_index = index;
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });

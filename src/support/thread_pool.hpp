@@ -70,8 +70,17 @@ class ThreadPool {
   /// Resolve a user-facing thread-count knob: 0 = hardware concurrency.
   static std::size_t resolve_threads(std::size_t requested);
 
+  /// Returned by worker_index() for threads that are not workers of the
+  /// queried pool.
+  static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
+  /// Index of the calling thread among *this* pool's workers (in
+  /// [0, thread_count())), or kNotAWorker for every other thread —
+  /// including workers of a different pool. Backs WorkerLocal.
+  std::size_t worker_index() const;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // workers wait for jobs
@@ -80,6 +89,42 @@ class ThreadPool {
   std::size_t running_ = 0;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// Per-worker slots over one pool: each worker of the pool gets its own
+/// element, plus one spare slot for the single orchestrating thread that
+/// drives the pool from outside (the merge walk, parallel_for's caller).
+/// Slots are created once at construction and never reallocated, so a
+/// worker's reference stays valid for the WorkerLocal's lifetime and T
+/// need not be copyable or movable. Intended for reusable scratch state
+/// (engine workspaces): a slot is only ever touched by the one thread it
+/// belongs to, so no locking is needed. Threads that are neither pool
+/// workers nor the orchestrator share the spare slot and must not use it
+/// concurrently (there is exactly one such thread in every current
+/// caller).
+template <typename T>
+class WorkerLocal {
+ public:
+  explicit WorkerLocal(const ThreadPool& pool)
+      : pool_(&pool), slots_(pool.thread_count() + 1) {}
+
+  /// Slot of the calling thread (see class comment).
+  T& local() {
+    const std::size_t i = pool_->worker_index();
+    return i == ThreadPool::kNotAWorker ? slots_.back() : slots_[i];
+  }
+
+  /// Visit every slot (aggregation; only safe once the pool is idle).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (T& slot : slots_) fn(slot);
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  const ThreadPool* pool_;
+  std::vector<T> slots_;
 };
 
 }  // namespace cps

@@ -252,6 +252,187 @@ TEST(ListScheduler, GapFillingBeforeReservation) {
   EXPECT_EQ(res.schedule.slot(fg.task_of_process(pb)).start, 5);
 }
 
+// --------------------------------------------------------------------------
+// Workspace reuse + checkpoint resume (EngineResume::kCheckpoint).
+
+/// Both runs must be byte-identical: feasibility, every slot, and (when
+/// infeasible) the offending lock.
+void expect_engine_equal(const FlatGraph& fg, const EngineResult& a,
+                         const EngineResult& b) {
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (!a.feasible) {
+    EXPECT_EQ(a.offending_lock, b.offending_lock);
+    return;
+  }
+  for (TaskId t = 0; t < fg.task_count(); ++t) {
+    ASSERT_EQ(a.schedule.scheduled(t), b.schedule.scheduled(t))
+        << "task " << t;
+    if (!a.schedule.scheduled(t)) continue;
+    EXPECT_EQ(a.schedule.slot(t).start, b.schedule.slot(t).start)
+        << "task " << t;
+    EXPECT_EQ(a.schedule.slot(t).end, b.schedule.slot(t).end)
+        << "task " << t;
+    EXPECT_EQ(a.schedule.slot(t).resource, b.schedule.slot(t).resource)
+        << "task " << t;
+  }
+}
+
+TEST(ListScheduler, WorkspaceReuseKeepsRunsIdentical) {
+  // The same request run twice on one workspace (warm buffers, warm
+  // private cover cache) must reproduce the cold run exactly.
+  Rng rng(11);
+  const Architecture arch = generate_random_architecture(rng);
+  RandomCpgParams params;
+  params.process_count = 30;
+  params.path_count = 6;
+  const Cpg g = generate_random_cpg(arch, params, rng);
+  const FlatGraph fg = FlatGraph::expand(g);
+  EngineWorkspace ws;
+  for (const AltPath& path : enumerate_paths(g)) {
+    EngineRequest req;
+    req.label = path.label;
+    req.active = fg.active_tasks(path.label);
+    req.priority = compute_priorities(fg, req.active,
+                                      PriorityPolicy::kCriticalPath);
+    const EngineResult cold = run_list_scheduler(fg, req);
+    const EngineResult warm = run_list_scheduler(fg, req, ws);
+    expect_engine_equal(fg, cold, warm);
+  }
+  EXPECT_EQ(ws.stats.runs, enumerate_paths(g).size());
+  EXPECT_EQ(ws.stats.reuse_hits, ws.stats.runs - 1);
+}
+
+TEST(ListScheduler, CheckpointFullReuseReturnsRecordedResult) {
+  Architecture arch;
+  arch.add_processor("p");
+  CpgBuilder b(arch);
+  const ProcessId p1 = b.add_process("P1", 0, 2);
+  const ProcessId p2 = b.add_process("P2", 0, 3);
+  b.add_edge(p1, p2);
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+
+  EngineRequest req;
+  req.label = paths[0].label;
+  req.active = fg.active_tasks(paths[0].label);
+  req.priority = compute_priorities(fg, req.active,
+                                    PriorityPolicy::kCriticalPath);
+  req.locks.assign(fg.task_count(), std::nullopt);
+  req.locks[fg.task_of_process(p2)] = TaskLock{10, 0};
+  req.resume = EngineResume::kCheckpoint;
+  EngineHistory history;
+  req.history = &history;
+
+  EngineWorkspace ws;
+  const EngineResult first = run_list_scheduler(fg, req, ws);
+  ASSERT_TRUE(first.feasible);
+  EXPECT_FALSE(first.full_reuse);
+  EXPECT_TRUE(history.valid);
+
+  const EngineResult second = run_list_scheduler(fg, req, ws);
+  EXPECT_TRUE(second.full_reuse);
+  EXPECT_EQ(ws.stats.full_reuses, 1u);
+  expect_engine_equal(fg, first, second);
+}
+
+TEST(ListScheduler, DeadlockIsReportedNotThrown) {
+  // An active guarded task whose disjunction is (artificially) inactive
+  // can never learn its condition: the engine must report the deadlock
+  // through the result — with no offending lock, since no lock caused it
+  // — instead of aborting. This is the condition the merge propagates as
+  // MergeResult::ok == false.
+  Architecture arch;
+  arch.add_processor("p");
+  CpgBuilder b(arch);
+  const CondId c = b.add_condition("C");
+  const ProcessId p1 = b.add_process("P1", 0, 2);
+  const ProcessId p2 = b.add_process("P2", 0, 3);
+  b.add_cond_edge(p1, p2, Literal{c, true});
+  const Cpg g = b.build();
+  const FlatGraph fg = FlatGraph::expand(g);
+  const auto paths = enumerate_paths(g);
+  const AltPath* with_c = nullptr;
+  for (const AltPath& path : paths) {
+    if (path.label.value_of(c) == true) with_c = &path;
+  }
+  ASSERT_NE(with_c, nullptr);
+
+  EngineRequest req;
+  req.label = with_c->label;
+  req.active = fg.active_tasks(with_c->label);
+  req.priority = compute_priorities(fg, req.active,
+                                    PriorityPolicy::kCriticalPath);
+  req.active[fg.task_of_process(p1)] = false;  // corrupt: P2 starves
+  const EngineResult res = run_list_scheduler(fg, req);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_FALSE(res.offending_lock.has_value());
+  EXPECT_NE(res.reason.find("deadlock"), std::string::npos);
+}
+
+// Randomized checkpoint-vs-scratch equivalence: evolving rule-3-style
+// lock sets on the paths of seeded CPGs, every run compared against a
+// fresh from-scratch engine. This is the engine-level pillar under the
+// merge-level equivalence suite in test_merge_parallel.cpp.
+TEST(ListScheduler, CheckpointResumeMatchesScratchOnEvolvingLockSets) {
+  std::size_t incremental = 0;  // resumes + full reuses observed
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    const Architecture arch = generate_random_architecture(rng);
+    RandomCpgParams params;
+    params.process_count = 20 + (seed % 3) * 10;
+    params.path_count = 4 + (seed % 3) * 2;
+    const Cpg g = generate_random_cpg(arch, params, rng);
+    const FlatGraph fg = FlatGraph::expand(g);
+    EngineWorkspace ckpt_ws;
+    EngineWorkspace scratch_ws;
+    Rng lock_rng(seed * 977);
+    for (const AltPath& path : enumerate_paths(g)) {
+      EngineRequest base;
+      base.label = path.label;
+      base.active = fg.active_tasks(path.label);
+      base.priority = compute_priorities(fg, base.active,
+                                         PriorityPolicy::kCriticalPath);
+      base.locks.assign(fg.task_count(), std::nullopt);
+      const EngineResult unlocked = run_list_scheduler(fg, base, scratch_ws);
+      ASSERT_TRUE(unlocked.feasible);
+
+      EngineHistory history;
+      for (int round = 0; round < 6; ++round) {
+        // Lock a random subset of tasks at their unlocked-schedule slots
+        // (like rule 3 does), occasionally nudging one reservation to a
+        // later time — which may make the request infeasible; both
+        // engines must then agree on the offending lock too.
+        EngineRequest ckpt = base;
+        ckpt.resume = EngineResume::kCheckpoint;
+        ckpt.history = &history;
+        for (TaskId t = 0; t < fg.task_count(); ++t) {
+          if (!base.active[t] || !unlocked.schedule.scheduled(t)) continue;
+          if (lock_rng.index(4) != 0) continue;
+          const Slot& slot = unlocked.schedule.slot(t);
+          Time start = slot.start;
+          if (lock_rng.index(8) == 0) {
+            start += static_cast<Time>(1 + lock_rng.index(3));
+          }
+          ckpt.locks[t] = TaskLock{start, slot.resource};
+        }
+        EngineRequest scratch = ckpt;
+        scratch.resume = EngineResume::kFromScratch;
+        scratch.history = nullptr;
+
+        const EngineResult a = run_list_scheduler(fg, ckpt, ckpt_ws);
+        const EngineResult b = run_list_scheduler(fg, scratch, scratch_ws);
+        expect_engine_equal(fg, a, b);
+        if (a.resumed || a.full_reuse) ++incremental;
+      }
+    }
+  }
+  // The sweep must actually exercise the incremental machinery, not just
+  // fall back to from-scratch runs.
+  EXPECT_GT(incremental, 0u);
+}
+
 // Property sweep: schedules of random CPGs satisfy all physical
 // invariants on every path and with every priority policy.
 struct SweepParam {

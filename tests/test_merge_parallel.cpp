@@ -62,26 +62,45 @@ void expect_identical_stats(const MergeStats& a, const MergeStats& b) {
   EXPECT_EQ(a.column_clashes, b.column_clashes);
 }
 
-void expect_equivalence(const Cpg& g) {
+void expect_equivalence(const Cpg& g,
+                        WorkspaceStats* checkpoint_stats = nullptr) {
   const Inputs in = co_synthesis_inputs(g);
 
+  // The reference: serial walk, every adjustment rescheduled from t=0.
   MergeOptions serial;
   serial.execution = MergeExecution::kSerial;
+  serial.resume = EngineResume::kFromScratch;
   const MergeResult reference =
       merge_schedules(*in.fg, in.paths, in.schedules, serial);
+  EXPECT_TRUE(reference.ok);
   EXPECT_EQ(reference.stats.speculative_hits, 0u);
   EXPECT_EQ(reference.stats.speculative_misses, 0u);
+  EXPECT_EQ(reference.workspace.resumes, 0u);
+  EXPECT_EQ(reference.workspace.full_reuses, 0u);
+
+  // Incremental prefix rescheduling (the production default) must leave
+  // the table AND every merge statistic untouched.
+  MergeOptions serial_ckpt = serial;
+  serial_ckpt.resume = EngineResume::kCheckpoint;
+  const MergeResult checkpoint =
+      merge_schedules(*in.fg, in.paths, in.schedules, serial_ckpt);
+  EXPECT_TRUE(checkpoint.ok);
+  expect_identical_tables(reference.table, checkpoint.table);
+  expect_identical_stats(reference.stats, checkpoint.stats);
+  if (checkpoint_stats != nullptr) *checkpoint_stats += checkpoint.workspace;
 
   MergeStats previous_speculative;
   bool have_previous = false;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
-                                    std::size_t{8}}) {
+                                    std::size_t{4}, std::size_t{8}}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     MergeOptions parallel;
     parallel.execution = MergeExecution::kSpeculative;
+    parallel.resume = EngineResume::kCheckpoint;
     parallel.threads = threads;
     const MergeResult speculative =
         merge_schedules(*in.fg, in.paths, in.schedules, parallel);
+    EXPECT_TRUE(speculative.ok);
     expect_identical_tables(reference.table, speculative.table);
     expect_identical_stats(reference.stats, speculative.stats);
     // Every adjustment went through the speculation machinery, and the
@@ -106,7 +125,15 @@ TEST(MergeParallel, HundredSeededRandomCpgsAreEquivalent) {
   // 100 random co-syntheses over the paper's architecture distribution
   // (1-11 processors + ASIC + 1-8 buses: virtually always multi-PE, so
   // broadcast knowledge lag and cross-subtree lock discovery are
-  // exercised), with varying sizes, path counts and distributions.
+  // exercised), with varying sizes, path counts and distributions. The
+  // accumulated workspace counters additionally prove the workspace layer
+  // really served the walks (buffer reuse across every adjustment). On
+  // these well-formed workloads each path is adjusted exactly once, so
+  // serial-mode checkpoint *resumes* stay 0 by design — the incremental
+  // path triggers on same-path reruns (conflict trials, lock relaxation,
+  // speculative miss re-runs) and is pinned down deterministically by the
+  // engine-level sweep in test_list_scheduler.cpp.
+  WorkspaceStats checkpoint_stats;
   for (std::uint64_t seed = 1; seed <= 100; ++seed) {
     SCOPED_TRACE("seed=" + std::to_string(seed));
     Rng rng(seed);
@@ -117,8 +144,11 @@ TEST(MergeParallel, HundredSeededRandomCpgsAreEquivalent) {
     params.distribution = (seed % 2) == 0 ? TimeDistribution::kUniform
                                           : TimeDistribution::kExponential;
     const Cpg g = generate_random_cpg(arch, params, rng);
-    expect_equivalence(g);
+    expect_equivalence(g, &checkpoint_stats);
   }
+  EXPECT_GT(checkpoint_stats.runs, 0u);
+  EXPECT_GT(checkpoint_stats.reuse_hits, 0u);
+  EXPECT_EQ(checkpoint_stats.resumes, 0u);  // no same-path reruns here
 }
 
 TEST(MergeParallel, StressRegimeWithConflictsStaysEquivalent) {
