@@ -61,8 +61,11 @@ struct CellResult {
   double conditions_mean = 0.0;
 };
 
-/// Machine-readable dump (schema_version 1): config, per-cell means, and
-/// run totals. BENCH_baseline.json is exactly this schema.
+/// Machine-readable dump (schema_version 2): config, per-cell means, and
+/// run totals. The config block names the engine (heap/linear), the
+/// per-path scheduling walk (tree/list) and the resume mode, so committed
+/// trajectory points (BENCH_baseline.json, BENCH_pr4.json, ...) are
+/// self-describing instead of requiring CHANGES.md archaeology.
 std::string cells_to_json(const CliParser& cli, bool compare,
                           bool compare_resume, std::size_t graphs_per_cell,
                           const std::vector<CellResult>& cells,
@@ -70,7 +73,7 @@ std::string cells_to_json(const CliParser& cli, bool compare,
                           double total_scratch_ms, double total_sched_ms) {
   JsonWriter w(2);
   w.begin_object();
-  w.field("schema_version", 1);
+  w.field("schema_version", 2);
   w.field("bench", "bench_fig6_merge_time");
   w.key("config").begin_object();
   w.field("graphs_per_cell", graphs_per_cell);
@@ -79,6 +82,8 @@ std::string cells_to_json(const CliParser& cli, bool compare,
   w.field("paths", cli.get_string("paths"));
   w.field("threads", cli.get_count("threads", 0));
   w.field("compare", compare);
+  w.field("engine", cli.get_string("engine"));
+  w.field("sched", cli.get_string("sched"));
   w.field("resume", cli.get_string("resume"));
   w.field("compare_resume", compare_resume);
   w.end_object();
@@ -181,6 +186,13 @@ int main(int argc, char** argv) try {
   cli.add_bool("compare",
                "run the speculative parallel merger against the serial "
                "reference, verify identical tables, report speedups");
+  cli.add_flag("engine", "heap",
+               "ready-list engine for scheduling and merging: 'heap' "
+               "(production) or 'linear' (pre-heap reference)");
+  cli.add_flag("sched", "tree",
+               "per-path scheduling walk: 'tree' (guard-trie chain with "
+               "checkpointed shared-prefix reuse, production default) or "
+               "'list' (independent from-scratch runs)");
   cli.add_flag("resume", "checkpoint",
                "engine resume mode of the timed merges: 'checkpoint' "
                "(incremental prefix rescheduling, production default) or "
@@ -209,6 +221,20 @@ int main(int argc, char** argv) try {
   const EngineResume resume = resume_name == "scratch"
                                   ? EngineResume::kFromScratch
                                   : EngineResume::kCheckpoint;
+  const std::string engine_name = cli.get_string("engine");
+  if (engine_name != "heap" && engine_name != "linear") {
+    throw cps::ParseError("--engine must be 'heap' or 'linear', got '" +
+                          engine_name + "'");
+  }
+  const ReadySelection engine = engine_name == "linear"
+                                    ? ReadySelection::kLinearScan
+                                    : ReadySelection::kHeap;
+  const std::string sched_name = cli.get_string("sched");
+  if (sched_name != "tree" && sched_name != "list") {
+    throw cps::ParseError("--sched must be 'tree' or 'list', got '" +
+                          sched_name + "'");
+  }
+  const bool tree_sched = sched_name == "tree";
   const std::vector<std::size_t> node_counts = cli.get_count_list("nodes");
   const std::vector<std::size_t> path_counts = cli.get_count_list("paths");
 
@@ -231,6 +257,8 @@ int main(int argc, char** argv) try {
   std::vector<CellResult> cells;
   bool all_identical = true;
   WorkspaceStats merge_workspace;
+  std::size_t sched_resumes = 0;
+  std::size_t sched_resumed_steps = 0;
 
   // One pool for the whole run: worker spawn/join stays out of the timed
   // merge regions. Likewise one engine workspace for all per-path
@@ -262,23 +290,39 @@ int main(int argc, char** argv) try {
 
         // Enumeration streams, but its cost is excluded from the
         // list-scheduling figure (the paper quotes them separately).
+        // --sched tree chains one EngineHistory across the leaves (the
+        // driver's guard-trie serial walk); --sched list runs each path
+        // from scratch.
         std::vector<AltPath> alt;
         std::vector<PathSchedule> schedules;
         CoverCache cache;
+        EngineHistory sched_chain;
         PathEnumerator en(g);
         double cell_sched_ms = 0.0;
         while (auto path = en.next()) {
           alt.push_back(std::move(*path));
           const auto t_sched = clock_type::now();
-          schedules.push_back(schedule_path(fg, alt.back(),
-                                            PriorityPolicy::kCriticalPath,
-                                            nullptr, ReadySelection::kHeap,
-                                            &cache, &sched_ws));
+          EngineRequest req = make_path_request(
+              fg, alt.back(), PriorityPolicy::kCriticalPath, nullptr,
+              engine, &cache);
+          if (tree_sched) {
+            req.resume = EngineResume::kCheckpoint;
+            req.history = &sched_chain;
+          }
+          EngineResult res = run_list_scheduler(fg, req, sched_ws);
+          if (!res.feasible) {
+            std::cerr << "ERROR: path unschedulable: " << res.reason << '\n';
+            return 1;
+          }
+          sched_resumes += res.resumed ? 1 : 0;
+          sched_resumed_steps += res.resumed_steps;
+          schedules.push_back(std::move(res.schedule));
           cell_sched_ms += ms_since(t_sched);
         }
         sched_ms.add(cell_sched_ms);
 
         MergeOptions serial;
+        serial.ready = engine;
         serial.execution = MergeExecution::kSerial;
         serial.resume = resume;
         auto t0 = clock_type::now();
@@ -295,6 +339,7 @@ int main(int argc, char** argv) try {
 
         if (compare) {
           MergeOptions parallel;
+          parallel.ready = engine;
           parallel.execution = MergeExecution::kSpeculative;
           parallel.resume = resume;
           parallel.pool = pool.get();
@@ -318,6 +363,7 @@ int main(int argc, char** argv) try {
         }
         if (compare_resume) {
           MergeOptions scratch;
+          scratch.ready = engine;
           scratch.execution = MergeExecution::kSerial;
           scratch.resume = EngineResume::kFromScratch;
           t0 = clock_type::now();
@@ -414,6 +460,11 @@ int main(int argc, char** argv) try {
         << merge_workspace.resumes << " checkpoint resumes ("
         << merge_workspace.resumed_steps << " steps skipped), "
         << merge_workspace.full_reuses << " full reuses\n";
+  if (tree_sched) {
+    human << "per-path scheduling (guard-trie chain): " << sched_resumes
+          << " prefix resumes (" << sched_resumed_steps
+          << " steps skipped)\n";
+  }
 
   const std::string json_path = cli.get_string("json-out");
   if (!json_path.empty()) {

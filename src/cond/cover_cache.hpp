@@ -35,6 +35,16 @@ struct CoverCacheStats {
   std::size_t misses = 0;
   std::size_t entries = 0;  ///< live memo entries at snapshot time
   std::size_t resets = 0;   ///< size-cap evictions of the whole map
+
+  /// Aggregate counters of several caches (parallel subtree jobs);
+  /// `entries` becomes the sum of the per-cache snapshots.
+  CoverCacheStats& operator+=(const CoverCacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    entries += o.entries;
+    resets += o.resets;
+    return *this;
+  }
 };
 
 class CoverCache {

@@ -93,6 +93,11 @@ void write_item(JsonWriter& w, const BatchItem& item,
   w.field("from_scratch", item.workspace.from_scratch);
   w.field("resumed_steps", item.workspace.resumed_steps);
   w.end_object();
+  w.key("path_tree").begin_object();
+  w.field("prefix_resumes", item.tree.prefix_resumes);
+  w.field("resumed_steps", item.tree.resumed_steps);
+  w.field("subtrees_parallel", item.tree.subtrees_parallel);
+  w.end_object();
   if (options.include_timing) {
     w.key("timing_ms").begin_object();
     w.field("expand", item.expand_ms);
@@ -123,16 +128,22 @@ BatchItem run_batch_item(const BatchConfig& config, std::size_t index) {
     // race and make the per-item reuse counters depend on scheduling
     // (breaking the byte-identical JSON guarantee). The per-call
     // workspace still amortizes allocations across all paths and merge
-    // runs of the item.
+    // runs of the item. For the same reason tree-mode scheduling runs
+    // its serial chain (the batch's parallelism is across graphs), and
+    // items do not retain their path vectors — thousand-graph batches
+    // would otherwise carry O(paths × depth) dead weight apiece.
     CoSynthesisOptions synthesis = config.synthesis;
     synthesis.workspace = nullptr;
+    synthesis.schedule_threads = 1;
+    synthesis.schedule_pool = nullptr;
+    synthesis.keep_paths = false;
     const CoSynthesisResult result = schedule_cpg(g, synthesis);
 
     item.ok = true;
     item.processes = g.process_count();
     item.tasks = result.flat->task_count();
     item.conditions = g.conditions().size();
-    item.paths = result.paths.size();
+    item.paths = result.path_count;
     item.table_entries = result.table.entry_count();
     item.delta_m = result.delays.delta_m;
     item.delta_max = result.delays.delta_max;
@@ -140,6 +151,7 @@ BatchItem run_batch_item(const BatchConfig& config, std::size_t index) {
     item.merge = result.merge_stats;
     item.cover_cache = result.cover_cache;
     item.workspace = result.workspace;
+    item.tree = result.tree;
     item.expand_ms = result.timings.expand_ms;
     item.enumerate_ms = result.timings.enumerate_ms;
     item.schedule_ms = result.timings.schedule_ms;
@@ -203,6 +215,8 @@ std::string batch_result_to_json(const BatchResult& result,
   w.field("paths", result.config.cpg.path_count);
   w.field("distribution", to_string(result.config.cpg.distribution));
   w.field("ready_selection", to_string(result.config.synthesis.merge.ready));
+  w.field("path_scheduling",
+          to_string(result.config.synthesis.path_scheduling));
   w.field("path_selection",
           to_string(result.config.synthesis.merge.selection));
   w.field("merge_execution",

@@ -59,6 +59,10 @@ struct BatchItem {
   /// counters are a pure function of the seed; the merge-side workspace
   /// split is timing-dependent under speculation and not exported).
   WorkspaceStats workspace;
+  /// Guard-trie scheduling counters (PathScheduling::kTree). Items
+  /// schedule on the serial tree chain — the batch already parallelizes
+  /// across graphs — so these are a pure function of the seed too.
+  PathTreeStats tree;
 
   // Wall-clock per pipeline stage (milliseconds).
   double expand_ms = 0.0;

@@ -1,11 +1,22 @@
 #include "sched/driver.hpp"
 
 #include <chrono>
+#include <exception>
+#include <optional>
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 
 namespace cps {
+
+const char* to_string(PathScheduling s) {
+  switch (s) {
+    case PathScheduling::kList: return "list";
+    case PathScheduling::kTree: return "tree";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -13,6 +24,170 @@ using clock_type = std::chrono::steady_clock;
 
 double ms_between(clock_type::time_point a, clock_type::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+[[noreturn]] void throw_path_budget(std::size_t max_paths) {
+  throw InvalidArgument("graph exceeds the alternative-path budget of " +
+                        std::to_string(max_paths) + " paths");
+}
+
+/// Everything the per-path scheduling stage produces, whichever walk ran.
+struct ScheduleStage {
+  std::vector<AltPath> paths;
+  std::vector<PathSchedule> schedules;
+  PathTreeStats tree;
+  WorkspaceStats workspace;
+  CoverCacheStats cover_cache;
+  double enumerate_ms = 0.0;
+  double schedule_ms = 0.0;
+};
+
+/// Serial walk: the retained path-list reference (one from-scratch engine
+/// run per path) or the serial tree chain (every leaf resumes from the
+/// previous leaf's checkpoints at their shared guard prefix — consecutive
+/// DFS leaves share the longest prefix, so one rolling EngineHistory is
+/// the optimal donor chain).
+ScheduleStage run_serial_stage(const Cpg& g, const FlatGraph& flat,
+                               const CoSynthesisOptions& options, Rng& rng,
+                               bool tree) {
+  ScheduleStage out;
+  CoverCache cover_cache;
+  EngineWorkspace owned_workspace;
+  EngineWorkspace& workspace =
+      options.workspace != nullptr ? *options.workspace : owned_workspace;
+  const WorkspaceStats workspace_before = workspace.stats;
+  // Demand-driven recording (eager off): the engine starts per-step
+  // checkpointing only once a sibling leaf demonstrates that resuming is
+  // plausible, so tries whose sibling priorities always diverge at t=0
+  // pay no recording overhead at all.
+  EngineHistory chain;
+  PathEnumerator enumerator(g);
+  while (true) {
+    const auto e0 = clock_type::now();
+    auto path = enumerator.next();
+    out.enumerate_ms += ms_between(e0, clock_type::now());
+    if (!path) break;
+    if (options.max_paths != 0 &&
+        enumerator.produced() > options.max_paths) {
+      throw_path_budget(options.max_paths);
+    }
+    out.paths.push_back(std::move(*path));
+    const auto s0 = clock_type::now();
+    EngineRequest req =
+        make_path_request(flat, out.paths.back(), options.path_priority,
+                          &rng, options.merge.ready, &cover_cache);
+    if (tree) {
+      req.resume = EngineResume::kCheckpoint;
+      req.history = &chain;
+    }
+    EngineResult res = run_list_scheduler(flat, req, workspace);
+    CPS_ASSERT(res.feasible,
+               "validated CPG path must be schedulable: " + res.reason);
+    if (res.resumed) {
+      ++out.tree.prefix_resumes;
+      out.tree.resumed_steps += res.resumed_steps;
+    }
+    out.schedules.push_back(std::move(res.schedule));
+    out.schedule_ms += ms_between(s0, clock_type::now());
+  }
+  out.cover_cache = cover_cache.stats();
+  out.workspace = workspace.stats;
+  out.workspace -= workspace_before;
+  return out;
+}
+
+/// Parallel tree walk: split the guard trie into a depth-first frontier
+/// of independent subtrees, chain-schedule each subtree's leaves on a
+/// pool worker (per-worker EngineWorkspace slot, per-job history and
+/// cover cache), and commit the results in deterministic frontier order —
+/// the concatenation is exactly the serial enumeration order, so every
+/// downstream consumer sees byte-identical inputs.
+std::optional<ScheduleStage> run_parallel_stage(
+    const Cpg& g, const FlatGraph& flat, const CoSynthesisOptions& options,
+    std::size_t threads) {
+  ScheduleStage out;
+  const auto e0 = clock_type::now();
+  // The budget check pre-counts with one cheap enumeration pass (jobs
+  // cannot share the serial walk's streaming counter without racing).
+  // Deliberate tradeoff: an over-budget graph trips here before any
+  // engine run is dispatched — cheaper than the list walk, which
+  // schedules every leaf up to the budget first.
+  if (options.max_paths != 0 &&
+      !count_paths(g, options.max_paths).has_value()) {
+    throw_path_budget(options.max_paths);
+  }
+  const PathTree tree(g);
+  const std::vector<PathTree::Node> jobs = tree.frontier(threads * 4);
+  if (jobs.size() <= 1) return std::nullopt;  // nothing to split
+  out.enumerate_ms = ms_between(e0, clock_type::now());
+
+  struct JobResult {
+    std::vector<AltPath> paths;
+    std::vector<PathSchedule> schedules;
+    PathTreeStats tree;
+    WorkspaceStats workspace;
+    CoverCacheStats cover_cache;
+    std::exception_ptr error;
+  };
+  std::vector<JobResult> results(jobs.size());
+
+  const auto s0 = clock_type::now();
+  ThreadPool* pool = options.schedule_pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    // The calling thread participates in parallel_for, so threads - 1
+    // workers reach the requested parallelism.
+    owned_pool = std::make_unique<ThreadPool>(threads - 1);
+    pool = owned_pool.get();
+  }
+  WorkerLocal<EngineWorkspace> workspaces(*pool);
+  pool->parallel_for(jobs.size(), [&](std::size_t i) {
+    JobResult& r = results[i];
+    try {
+      EngineWorkspace& ws = workspaces.local();
+      const WorkspaceStats ws_before = ws.stats;
+      CoverCache cover_cache;  // per job: keeps the counters deterministic
+      EngineHistory chain;     // demand-driven recording, like the serial walk
+      PathEnumerator en = tree.leaves(jobs[i].context);
+      while (auto path = en.next()) {
+        r.paths.push_back(std::move(*path));
+        EngineRequest req = make_path_request(
+            flat, r.paths.back(), options.path_priority, nullptr,
+            options.merge.ready, &cover_cache);
+        req.resume = EngineResume::kCheckpoint;
+        req.history = &chain;
+        EngineResult res = run_list_scheduler(flat, req, ws);
+        if (!res.feasible) {
+          throw InternalError("validated CPG path must be schedulable: " +
+                              res.reason);
+        }
+        if (res.resumed) {
+          ++r.tree.prefix_resumes;
+          r.tree.resumed_steps += res.resumed_steps;
+        }
+        r.schedules.push_back(std::move(res.schedule));
+      }
+      r.cover_cache = cover_cache.stats();
+      r.workspace = ws.stats;
+      r.workspace -= ws_before;
+    } catch (...) {
+      r.error = std::current_exception();
+    }
+  });
+  out.schedule_ms = ms_between(s0, clock_type::now());
+
+  // Commit in frontier (= depth-first) order; the first failure in that
+  // order is the one a serial walk would have hit.
+  out.tree.subtrees_parallel = jobs.size();
+  for (JobResult& r : results) {
+    if (r.error) std::rethrow_exception(r.error);
+    for (auto& p : r.paths) out.paths.push_back(std::move(p));
+    for (auto& s : r.schedules) out.schedules.push_back(std::move(s));
+    out.tree += r.tree;
+    out.workspace += r.workspace;
+    out.cover_cache += r.cover_cache;
+  }
+  return out;
 }
 
 }  // namespace
@@ -23,46 +198,40 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
   auto flat = std::make_unique<FlatGraph>(FlatGraph::expand(g));
   const auto t1 = clock_type::now();
 
-  // Stream enumeration and per-path scheduling: each alternative path is
-  // scheduled as soon as its label is produced, and the max_paths budget
-  // trips before an exponential label set is ever materialized. One
-  // engine workspace serves the whole loop, so only the first path pays
-  // the engine-buffer allocations.
+  // Per-path scheduling. The serial walks stream enumeration and
+  // scheduling (each alternative path is scheduled as soon as its label
+  // is produced, and the max_paths budget trips before an exponential
+  // label set is materialized); the parallel tree walk splits the guard
+  // trie into independent subtrees first. Either way one engine
+  // workspace serves a whole chain, so only its first path pays the
+  // engine-buffer allocations.
   Rng rng(options.merge.random_seed);
-  CoverCache cover_cache;
-  EngineWorkspace owned_workspace;
-  EngineWorkspace& workspace =
-      options.workspace != nullptr ? *options.workspace : owned_workspace;
-  const WorkspaceStats workspace_before = workspace.stats;
-  std::vector<AltPath> paths;
-  std::vector<PathSchedule> schedules;
-  double enumerate_ms = 0.0;
-  double schedule_ms = 0.0;
-  PathEnumerator enumerator(g);
-  while (true) {
-    const auto e0 = clock_type::now();
-    auto path = enumerator.next();
-    enumerate_ms += ms_between(e0, clock_type::now());
-    if (!path) break;
-    if (options.max_paths != 0 && enumerator.produced() > options.max_paths) {
-      throw InvalidArgument(
-          "graph exceeds the alternative-path budget of " +
-          std::to_string(options.max_paths) + " paths");
-    }
-    paths.push_back(std::move(*path));
-    const auto s0 = clock_type::now();
-    schedules.push_back(schedule_path(*flat, paths.back(),
-                                      options.path_priority, &rng,
-                                      options.merge.ready, &cover_cache,
-                                      &workspace));
-    schedule_ms += ms_between(s0, clock_type::now());
+  const bool tree = options.path_scheduling == PathScheduling::kTree;
+  // An external pool overrides schedule_threads for sizing: its workers
+  // plus the participating calling thread are the parallelism.
+  std::size_t threads = 1;
+  if (tree) {
+    threads = options.schedule_pool != nullptr
+                  ? options.schedule_pool->thread_count() + 1
+                  : ThreadPool::resolve_threads(options.schedule_threads);
   }
-  WorkspaceStats workspace_stats = workspace.stats;
-  workspace_stats -= workspace_before;
+  if (options.path_priority == PriorityPolicy::kRandom) {
+    // The per-path priority draws consume the flow RNG in enumeration
+    // order; that order is part of the reproducible serial behavior and
+    // cannot be split across workers.
+    threads = 1;
+  }
+  std::optional<ScheduleStage> stage_opt;
+  if (tree && threads > 1) {
+    stage_opt = run_parallel_stage(g, *flat, options, threads);
+  }
+  ScheduleStage stage = stage_opt
+                            ? std::move(*stage_opt)
+                            : run_serial_stage(g, *flat, options, rng, tree);
 
   const auto t3 = clock_type::now();
   MergeResult merged =
-      merge_schedules(*flat, paths, schedules, options.merge);
+      merge_schedules(*flat, stage.paths, stage.schedules, options.merge);
   const auto t4 = clock_type::now();
   if (!merged.ok) {
     throw ValidationError("schedule merging failed: " + merged.error);
@@ -70,7 +239,7 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
 
   if (options.validate) {
     const TableValidation validation =
-        validate_table(*flat, merged.table, paths);
+        validate_table(*flat, merged.table, stage.paths);
     if (!validation.ok) {
       throw ValidationError("generated schedule table is incoherent:\n  " +
                             join(validation.violations, "\n  "));
@@ -78,23 +247,34 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
   }
   const auto t5 = clock_type::now();
 
-  DelayReport delays = delay_report(*flat, paths, schedules, merged.table);
+  DelayReport delays =
+      delay_report(*flat, stage.paths, stage.schedules, merged.table);
 
   StageTimings timings;
   timings.expand_ms = ms_between(t0, t1);
-  timings.enumerate_ms = enumerate_ms;
-  timings.schedule_ms = schedule_ms;
+  timings.enumerate_ms = stage.enumerate_ms;
+  timings.schedule_ms = stage.schedule_ms;
   timings.merge_ms = ms_between(t3, t4);
   timings.validate_ms = ms_between(t4, t5);
 
+  const std::size_t path_count = stage.paths.size();
+  if (!options.keep_paths) {
+    // Shrink, not just clear: the point is dropping the O(paths × depth)
+    // payload, and the result outlives this call.
+    stage.paths = {};
+    stage.schedules = {};
+  }
+
   return CoSynthesisResult{std::move(flat),
-                           std::move(paths),
-                           std::move(schedules),
+                           std::move(stage.paths),
+                           std::move(stage.schedules),
+                           path_count,
                            std::move(merged.table),
                            merged.stats,
-                           cover_cache.stats(),
-                           workspace_stats,
+                           stage.cover_cache,
+                           stage.workspace,
                            merged.workspace,
+                           stage.tree,
                            std::move(delays),
                            timings};
 }

@@ -11,6 +11,47 @@
 
 namespace cps {
 
+class ThreadPool;
+
+/// How the per-path scheduling stage walks the alternative-path set.
+///
+/// kTree (production) schedules the *guard trie* (cpg/paths PathTree):
+/// leaves are visited in the same depth-first order as the path list, but
+/// each leaf's engine run resumes from a checkpoint of the previous
+/// leaf's run at their shared guard prefix (EngineHistory, generalized
+/// from lock-set to guard-assignment divergence), and independent
+/// subtrees can be dispatched to thread-pool workers. Schedules, the
+/// merged table and batch JSON are byte-identical to kList at every
+/// thread count.
+///
+/// kList is the retained streaming path-list reference: one from-scratch
+/// engine run per path, serially, in enumeration order.
+enum class PathScheduling : std::uint8_t { kList, kTree };
+
+const char* to_string(PathScheduling s);
+
+/// Counters of the guard-trie scheduling stage. Deterministic for the
+/// serial tree walk (schedule_threads == 1, the batch driver's setting);
+/// with parallel subtree dispatch the subtree split — and with it the
+/// chain boundaries — is a function of the resolved thread count, so the
+/// counters are deterministic *per thread count* (the schedules never
+/// vary). Zero in kList mode.
+struct PathTreeStats {
+  /// Leaf engine runs resumed from a shared-prefix checkpoint.
+  std::size_t prefix_resumes = 0;
+  /// Committed time steps those resumes skipped (vs from-scratch).
+  std::size_t resumed_steps = 0;
+  /// Subtree jobs dispatched to the thread pool (0 = serial walk).
+  std::size_t subtrees_parallel = 0;
+
+  PathTreeStats& operator+=(const PathTreeStats& o) {
+    prefix_resumes += o.prefix_resumes;
+    resumed_steps += o.resumed_steps;
+    subtrees_parallel += o.subtrees_parallel;
+    return *this;
+  }
+};
+
 struct CoSynthesisOptions {
   PriorityPolicy path_priority = PriorityPolicy::kCriticalPath;
   /// merge.ready selects the engine for the *whole* flow: both per-path
@@ -31,9 +72,34 @@ struct CoSynthesisOptions {
   /// scheduling loop: callers that co-synthesize repeatedly on one thread
   /// (benches, custom harnesses) can pay the buffer allocations once
   /// across calls. Must outlive the call and must not be used
-  /// concurrently. nullptr = the flow owns a workspace per call (still
-  /// reused across all paths of that call).
+  /// concurrently. Serial walks only (parallel subtree dispatch uses
+  /// per-worker slots instead). nullptr = the flow owns a workspace per
+  /// call (still reused across all paths of that call).
   EngineWorkspace* workspace = nullptr;
+  /// Per-path scheduling strategy (see PathScheduling). Tree mode is the
+  /// production default; the path-list reference is retained for
+  /// equivalence tests and ablation.
+  PathScheduling path_scheduling = PathScheduling::kTree;
+  /// Worker threads for tree-mode subtree dispatch; 1 = serial tree walk
+  /// (one resume chain over all leaves — the most prefix reuse), 0 =
+  /// hardware concurrency. Ignored by kList. PriorityPolicy::kRandom
+  /// forces the serial walk (the per-path priority draws are part of the
+  /// reproducible serial order). The schedules are byte-identical at
+  /// every value.
+  std::size_t schedule_threads = 1;
+  /// Optional externally owned pool for tree-mode subtree dispatch: lets
+  /// callers that co-synthesize repeatedly pay the worker spawn cost
+  /// once. When set it replaces `schedule_threads` entirely — the
+  /// parallelism is the pool's workers plus the participating calling
+  /// thread. Must outlive the call. nullptr = the flow spawns workers
+  /// per call when the resolved `schedule_threads` exceeds 1.
+  ThreadPool* schedule_pool = nullptr;
+  /// Materialize `CoSynthesisResult::paths` / `path_schedules`. They are
+  /// always *built* (the merge consumes them) but with keep_paths off the
+  /// result drops them before returning — thousand-graph batches stop
+  /// carrying O(paths × depth) dead weight per item. `path_count` is
+  /// filled either way.
+  bool keep_paths = true;
 };
 
 /// Wall-clock cost of each pipeline stage (milliseconds).
@@ -49,24 +115,38 @@ struct StageTimings {
 /// ScheduleTable's reference to it stays valid when the result is moved.
 struct CoSynthesisResult {
   std::unique_ptr<FlatGraph> flat;
+  /// Alternative paths and their optimal schedules, in enumeration order.
+  /// Empty when CoSynthesisOptions::keep_paths is off (see `path_count`).
   std::vector<AltPath> paths;
   std::vector<PathSchedule> path_schedules;
+  /// Number of alternative paths scheduled (valid even when the vectors
+  /// above were dropped via keep_paths).
+  std::size_t path_count = 0;
   ScheduleTable table;
   MergeStats merge_stats;
   /// Counters of the per-path scheduling cover cache (guard coverage
-  /// memoization). Deterministic: the per-path loop is serial, so the
-  /// counters are a pure function of the input graph and options.
+  /// memoization). A pure function of the input graph and options for
+  /// serial walks; parallel subtree dispatch uses one private cache per
+  /// subtree job, aggregated in job order, so the counters are
+  /// deterministic per resolved thread count.
   CoverCacheStats cover_cache;
   /// Engine-workspace counters of the per-path scheduling loop (buffer
-  /// reuse across the paths of this call). Deterministic, like
-  /// `cover_cache`; counts only this call's runs even on a shared
-  /// external workspace.
+  /// reuse across the paths of this call). Deterministic for serial walks
+  /// (kList, or kTree with schedule_threads == 1), like `cover_cache`;
+  /// counts only this call's runs even on a shared external workspace.
+  /// Under parallel subtree dispatch the warm-buffer split depends on
+  /// which worker ran which job, so `reuse_hits` may vary run-to-run
+  /// (the remaining counters are per-job and deterministic per thread
+  /// count).
   WorkspaceStats workspace;
   /// Aggregated engine-workspace counters of the merge (walking thread +
   /// speculative workers): checkpoint resumes, full reuses, resumed
   /// steps. Timing-dependent under speculative execution (see
   /// MergeResult::workspace), hence kept out of byte-identical outputs.
   WorkspaceStats merge_workspace;
+  /// Guard-trie scheduling counters (see PathTreeStats for the
+  /// determinism contract). Zero under PathScheduling::kList.
+  PathTreeStats tree;
   DelayReport delays;
   StageTimings timings;
 

@@ -13,15 +13,34 @@
 // per-worker slots (support/thread_pool's WorkerLocal).
 //
 // On top of the workspace, EngineHistory records a *checkpoint stream*
-// during a run: the full engine state at (a thinned subset of) the
-// committed time steps. A later run on the same request-modulo-locks can
-// then resume from the latest checkpoint that provably precedes any
-// influence of the differing locks, instead of rescheduling from t=0 —
-// the classic incremental-rescheduling win for the merge phase, where
-// adjacent back-step adjustments of the same path differ only in a small
-// rule-3 lock-set delta. Resumed runs are byte-identical to from-scratch
-// runs (equivalence-tested); the knob is EngineResume with kFromScratch
-// retained as the reference.
+// during a run: the request-independent engine state at (a thinned subset
+// of) the committed time steps. A later run on the same graph can then
+// resume from the latest checkpoint that provably precedes any influence
+// of the way the new request differs from the recorded one, instead of
+// rescheduling from t=0. Two kinds of difference are supported:
+//
+//  * a differing rule-3 *lock set* (same label/active/priority) — the
+//    classic incremental-rescheduling win for the merge phase, where
+//    adjacent back-step adjustments of the same path differ only in a
+//    small lock-set delta;
+//  * an *extended guard assignment* (different path label, and with it
+//    different active sets and priorities) — the guard-trie win for
+//    per-path scheduling, where sibling alternative paths replay
+//    identically until the first divergent condition value becomes known
+//    on some resource (knowledge rule), so a leaf resumes from the
+//    previous leaf's checkpoint at their shared trie prefix.
+//
+// A checkpoint deliberately stores no engine state at all — just a
+// position into the run's append-only *start-event log* (schedule slots
+// are write-once, so the whole request-independent state at a committed
+// step is a pure function of the log prefix). Restoring replays that
+// prefix into freshly initialized state and rebuilds everything
+// request-dependent — pending counts, ready heaps, act times, knowledge
+// words, lock structures — from the *new* request, which is what makes
+// one stream servable to requests with different active sets and keeps
+// recording cost near zero. Resumed runs are byte-identical to
+// from-scratch runs (equivalence-tested); the knob is EngineResume with
+// kFromScratch retained as the reference.
 #pragma once
 
 #include <cstdint>
@@ -135,41 +154,51 @@ struct WorkspaceStats {
   }
 };
 
-/// Full engine state at the end of one committed time step. Broadcast
-/// pending lists and lock-derived structures are rebuilt at resume time
-/// (their content is a pure function of the restored flags and the new
-/// lock set), so they are not stored.
-struct EngineCheckpoint {
-  Time now = 0;
-  std::size_t steps = 0;  ///< committed steps up to and including this one
-  std::size_t remaining = 0;
-  PathSchedule sched;
-  std::vector<std::size_t> pending;
-  std::vector<Time> dep_ready;
-  std::vector<bool> started;
-  std::vector<bool> finished;
-  std::vector<Time> busy_until;
-  std::vector<TaskId> running;
-  std::vector<std::vector<Time>> known;  ///< wide mode only (no masks)
-  std::vector<std::uint64_t> known_pos;
-  std::vector<std::uint64_t> known_neg;
-  std::vector<ReadyHeap> ready;
-  std::vector<TaskId> hw_ready;
+/// One committed task start of a recorded run. Schedule slots are
+/// write-once (placed at start, never modified), so the whole
+/// request-independent engine state at any committed step is a pure
+/// function of the *prefix* of the start-event log: started/finished
+/// flags, schedule slots, resource occupancy, the knowledge words (a
+/// condition is known where its disjunction/broadcast completions put
+/// it), and — together with the resuming request — every derived
+/// structure (pending counts, ready heaps, act times, lock lists).
+struct StartEvent {
+  TaskId task = 0;
+  Time start = 0;
+  Time end = 0;
+  PeId resource = 0;
 };
 
-/// Recorded run of one (graph, label, active, priority) request identity:
-/// the lock set it ran with, the outcome, per-task first-startable times,
-/// and a thinned stream of checkpoints. Owned by the caller (the merge
-/// keeps one per alternative path) and handed to the engine via
-/// EngineRequest::history; the engine validates the identity before
-/// trusting it and re-records on every run. Not thread-safe: one history
+/// A checkpoint is just a position in the start-event log plus the clock:
+/// recording one costs three scalar stores, and restore replays the log
+/// prefix into freshly initialized engine state. The replay is what lets
+/// one checkpoint stream serve requests that differ in their lock set
+/// *or* in their whole guard assignment (active sets and priorities
+/// included) — nothing request-dependent is ever stored.
+struct EngineCheckpoint {
+  Time now = 0;
+  std::size_t steps = 0;    ///< committed steps up to and incl. this one
+  std::size_t log_pos = 0;  ///< EngineHistory::log entries committed
+};
+
+/// Recorded run of one (graph, label, active, priority) request: the lock
+/// set it ran with, the outcome, per-task first-startable times,
+/// per-condition first-known times, and a thinned stream of checkpoints.
+/// Owned by the caller and handed to the engine via
+/// EngineRequest::history; the engine validates before trusting it and
+/// re-records on every run. A later run may resume when it matches the
+/// record exactly up to its lock set (the merge keeps one history per
+/// alternative path), or — with empty lock sets on both sides — when only
+/// its guard assignment diverged (the tree driver chains one history
+/// across the leaves of the guard trie). Not thread-safe: one history
 /// belongs to one thread at a time.
 struct EngineHistory {
   /// Upper bound on live checkpoints; when reached, every second one is
   /// dropped and the recording stride doubles (log-structured thinning),
-  /// so memory stays bounded and long runs keep coarse early coverage
-  /// plus dense recent coverage.
-  static constexpr std::size_t kMaxCheckpoints = 16;
+  /// so long runs keep coarse early coverage plus dense recent coverage.
+  /// Checkpoints are log positions (three scalars each), so the bound is
+  /// about keeping the restore search short, not about memory.
+  static constexpr std::size_t kMaxCheckpoints = 64;
 
   bool valid = false;
 
@@ -202,6 +231,12 @@ struct EngineHistory {
   /// Per task: time its last active predecessor completed (the first
   /// moment it could possibly start); Time max when it never happened.
   std::vector<Time> act;
+  /// Per condition: earliest time its value became known on *any*
+  /// resource during the recorded run (Time max when it never did).
+  /// Drives the guard-divergence analysis: a task whose activity differs
+  /// between two guard assignments cannot start before some divergent
+  /// condition is known on its resource.
+  std::vector<Time> cond_known;
   /// Max duration over active tasks (lock-influence horizon), >= 1.
   Time max_duration = 1;
   bool feasible = false;
@@ -210,7 +245,10 @@ struct EngineHistory {
   std::string reason;
   std::size_t total_steps = 0;
 
-  // Checkpoint stream (slots beyond ckpt_count are retained for capacity).
+  // Start-event log of the recorded run (committed task starts in start
+  // order) and the checkpoint stream of positions into it. A resume
+  // truncates both to the restored prefix; the continuation re-appends.
+  std::vector<StartEvent> log;
   std::vector<EngineCheckpoint> ckpts;
   std::size_t ckpt_count = 0;
   std::size_t stride = 1;
@@ -218,6 +256,7 @@ struct EngineHistory {
 
   void invalidate() {
     valid = false;
+    log.clear();
     ckpt_count = 0;
     stride = 1;
     since_record = 0;
@@ -283,6 +322,7 @@ struct EngineWorkspace {
 
   // Checkpoint support.
   std::vector<Time> act;
+  std::vector<Time> cond_known;
 
   // Step-local scratch (swap targets so the per-step rebuild of the
   // pending/running lists stops allocating).

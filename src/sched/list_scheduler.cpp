@@ -28,6 +28,13 @@ bool lock_sets_equal(const std::vector<std::optional<TaskLock>>& a,
   return true;
 }
 
+bool any_lock(const std::vector<std::optional<TaskLock>>& locks) {
+  for (const auto& l : locks) {
+    if (l.has_value()) return true;
+  }
+  return false;
+}
+
 /// The engine proper. All mutable state lives in the EngineWorkspace so
 /// repeated runs reuse capacity; the Engine object itself is a cheap
 /// per-run view binding the workspace buffers to their historical names.
@@ -58,7 +65,8 @@ class Engine {
         bcast_pending_(ws.bcast_pending),
         locked_tasks_(ws.locked_tasks),
         locks_on_res_(ws.locks_on_res),
-        act_(ws.act) {}
+        act_(ws.act),
+        cond_known_(ws.cond_known) {}
 
   EngineResult run();
 
@@ -105,10 +113,14 @@ class Engine {
   // ---- checkpoint resume (EngineResume::kCheckpoint).
 
   bool history_matches(const EngineHistory& h) const;
+  bool history_guard_matches(const EngineHistory& h) const;
   /// Earliest time the new lock set can influence the recorded run: every
   /// checkpoint strictly before it restores a state the new run provably
   /// reaches unchanged (see the prefix-equality argument below).
   Time divergence_limit(const EngineHistory& h) const;
+  /// Same bound for a run differing in its whole guard assignment (label,
+  /// active set, priorities) instead of its lock set.
+  Time guard_divergence_limit(const EngineHistory& h) const;
   void restore_checkpoint(const EngineHistory& h, const EngineCheckpoint& ck);
   void maybe_record(Time now, std::size_t steps);
   void finalize_history(const EngineResult& out, std::size_t steps);
@@ -120,6 +132,10 @@ class Engine {
   }
   void start_task(TaskId t, Time now, PeId res);
   void complete_task(TaskId t, Time now);
+  /// Record that `c`'s value became known on `res` at `when` (knowledge
+  /// words / time matrix, first-known tracking). Shared by live
+  /// completions and the checkpoint-restore replay.
+  void learn(PeId res, CondId c, Time when);
   EngineResult infeasible(TaskId t, const std::string& reason);
 
   const FlatGraph& fg_;
@@ -177,6 +193,10 @@ class Engine {
   // moment t could possibly start (kInf if it never happened). Drives the
   // checkpoint divergence analysis.
   std::vector<Time>& act_;
+  // cond_known_[c]: earliest time condition c became known on any
+  // resource (kInf if never; maintained only while recording). Drives the
+  // guard-divergence analysis.
+  std::vector<Time>& cond_known_;
 };
 
 // --------------------------------------------------------------------------
@@ -538,16 +558,64 @@ bool Engine::try_starts_heap(Time now) {
 //    have completed, i.e. from act(t) on; with T < act(t) it is inert in
 //    both runs through T.
 //
-// Under those bounds the two runs make byte-identical decisions up to and
-// including the step at T, so restoring A's checkpoint at T and
-// continuing with B's locks is byte-identical to running B from scratch
-// (equivalence-tested in test_list_scheduler / test_merge_parallel).
+// The same prefix-equality argument extends to a run B that differs in
+// its *guard assignment* instead — a different path label, and with it
+// different active sets and priorities (lock sets empty on both sides,
+// knowledge rule enforced). Two complete path labels of one graph decide
+// at least one condition oppositely; call those the divergent conditions.
+// Then through any T strictly before both (a) the first time any
+// divergent condition became known on any resource in run A (cond_known)
+// and (b) the first-startable time act(t) of any task active in both runs
+// with differing priorities, the runs replay identically:
+//
+//  * a task whose activity differs has a guard whose truth value differs
+//    under the two labels, so covering it (to start it) or refuting it
+//    (to pass the conjunction check) requires a known context that
+//    decides some divergent condition — if every known value were common
+//    to both labels, the guard would evaluate identically under both.
+//    Conditions become known only at task completions, recorded in
+//    cond_known, so before (a) no differing-activity task has started on
+//    either run, and none of its knock-on effects (resource occupancy,
+//    completions, knowledge updates) exists;
+//  * a conjunction task active in both runs whose predecessor activity
+//    differs is blocked by the same argument (the conjunction check must
+//    decide every guarded predecessor's activity). Non-conjunction tasks
+//    cannot have predecessors of differing activity while active in both
+//    runs — validated CPGs give non-conjunction processes guards that
+//    imply every predecessor's guard — and guard_divergence_limit refuses
+//    to resume if one appears anyway;
+//  * a task active in both runs with equal priorities behaves
+//    identically; with differing priorities it can steer a ready-heap pop
+//    from the moment it first becomes ready, bounded by (b).
+//
+// Checkpoints store only request-independent state (schedule, flags,
+// occupancy, knowledge); restore_checkpoint rebuilds everything
+// request-dependent — pending counts, dep-ready/act times, ready heaps,
+// broadcast/lock lists — from the *resuming* request, which is exactly
+// what lets one stream serve both kinds of divergence. Under those
+// bounds, restoring A's checkpoint at T and continuing with B's request
+// is byte-identical to running B from scratch (equivalence-tested in
+// test_list_scheduler / test_merge_parallel / test_path_tree).
 
 bool Engine::history_matches(const EngineHistory& h) const {
   return h.graph_uid == fg_.uid() && h.task_count == fg_.task_count() &&
          h.enforce_knowledge == req_.enforce_knowledge &&
          h.label == label_ && h.active == active_ &&
          h.priority == priority_;
+}
+
+bool Engine::history_guard_matches(const EngineHistory& h) const {
+  // Guard-assignment resume: same graph, knowledge rule enforced, no lock
+  // on either side — the divergence analysis leans on guarded tasks being
+  // unable to start before their divergent conditions are known, and on
+  // lock-free ready-structure rebuilds. A feasible recorded run is also
+  // required: per-path runs of validated CPGs never deadlock, so an
+  // infeasible record means malformed input (e.g. a hand-corrupted
+  // active set) where the equivalence reasoning has no footing.
+  return h.graph_uid == fg_.uid() && h.task_count == fg_.task_count() &&
+         h.feasible && h.enforce_knowledge && req_.enforce_knowledge &&
+         h.cond_known.size() == fg_.cpg().conditions().size() &&
+         !any_lock(h.locks) && !any_lock(locks_);
 }
 
 Time Engine::divergence_limit(const EngineHistory& h) const {
@@ -564,42 +632,141 @@ Time Engine::divergence_limit(const EngineHistory& h) const {
   return limit;
 }
 
+Time Engine::guard_divergence_limit(const EngineHistory& h) const {
+  Time limit = kInf;
+  // (a) Conditions decided oppositely by both labels gate every
+  //     differing-activity task (see the prefix-equality argument above).
+  bool divergent = false;
+  for (CondId c = 0; c < fg_.cpg().conditions().size(); ++c) {
+    const auto a = h.label.value_of(c);
+    const auto b = label_.value_of(c);
+    if (a == b) continue;
+    if (a && b) {
+      divergent = true;
+      limit = std::min(limit, h.cond_known[c]);
+    }
+  }
+  // Distinct complete path labels of one graph are pairwise incompatible,
+  // so a both-decided divergent condition must exist; refuse anything
+  // else (identical labels, partial contexts, foreign label sets).
+  if (!divergent) return 0;
+  for (TaskId t = 0; t < fg_.task_count(); ++t) {
+    if (h.active[t] && active_[t]) {
+      // (b) Common tasks with differing priorities steer ready-heap pops
+      //     from the moment they first become ready in the recorded run.
+      //     Only sequential-resource non-broadcast tasks ever consult
+      //     their priority: hardware tasks start whenever ready and
+      //     broadcasts go by task-id order on the first free bus.
+      if (h.priority[t] != priority_[t] && !fg_.task(t).is_broadcast() &&
+          seq_[fg_.task(t).resource]) {
+        limit = std::min(limit, h.act[t]);
+      }
+    } else if (h.active[t] != active_[t]) {
+      // Belt: a non-conjunction successor active in both runs is not
+      // knowledge-gated on this differing predecessor. Validated CPGs
+      // cannot produce one (see the argument above) — refuse to resume
+      // rather than risk a silent divergence on a hand-built model.
+      for (EdgeId e : fg_.deps().out_edges(t)) {
+        const TaskId succ = fg_.deps().edge(e).dst;
+        if (h.active[succ] && active_[succ] &&
+            !fg_.guard_info(succ).conjunction) {
+          return 0;
+        }
+      }
+    }
+  }
+  return limit;
+}
+
 void Engine::restore_checkpoint(const EngineHistory& h,
                                 const EngineCheckpoint& ck) {
-  sched_ = ck.sched;
-  pending_ = ck.pending;
-  dep_ready_ = ck.dep_ready;
-  started_ = ck.started;
-  finished_ = ck.finished;
-  busy_until_ = ck.busy_until;
-  running_ = ck.running;
-  if (!use_masks_) known_ = ck.known;
-  known_pos_ = ck.known_pos;
-  known_neg_ = ck.known_neg;
-  ready_ = ck.ready;
-  hw_ready_ = ck.hw_ready;
-  remaining_ = ck.remaining;
-  // act entries recorded after the checkpoint belong to the abandoned
-  // suffix; the continuation re-records them.
-  for (TaskId t = 0; t < fg_.task_count(); ++t) {
-    act_[t] = h.act[t] <= ck.now ? h.act[t] : kInf;
+  // The engine state was just initialized from scratch for this request;
+  // replaying the recorded log prefix on top reproduces the shared
+  // prefix's request-independent state: through the divergence limit both
+  // runs committed byte-identical steps, so the recorded starts are the
+  // resuming run's own. A start with end <= ck.now has completed by the
+  // checkpoint (completions at `now` are processed before the step at
+  // `now` is recorded; zero-duration tasks complete at their start).
+  for (std::size_t i = 0; i < ck.log_pos; ++i) {
+    const StartEvent& e = h.log[i];
+    const Task& task = fg_.task(e.task);
+    started_[e.task] = true;
+    sched_.place(e.task, e.start, e.end, e.resource);
+    if (e.end > ck.now) {
+      running_.push_back(e.task);  // log order = start order = natural
+      if (seq_[e.resource]) busy_until_[e.resource] = e.end;
+      continue;
+    }
+    finished_[e.task] = true;
+    if (e.end > e.start && seq_[e.resource]) {
+      busy_until_[e.resource] = e.end;
+    }
+    // Knowledge is a pure function of the finished prefix and the label;
+    // prefix conditions are common to both runs, so the current label
+    // supplies the same values the recorded run learned.
+    if (task.computes) {
+      const CondId c = *task.computes;
+      learn(e.resource, c, e.end);
+      if (!fg_.broadcasts_enabled()) {
+        for (PeId r = 0; r < fg_.arch().pe_count(); ++r) learn(r, c, e.end);
+      }
+    }
+    if (task.broadcasts) {
+      const CondId c = *task.broadcasts;
+      for (PeId r = 0; r < fg_.arch().pe_count(); ++r) learn(r, c, e.end);
+    }
   }
-  // Lock-derived structures are a pure function of the restored flags and
-  // the *new* lock set; rebuilding them (in task-id order, exactly like
-  // the from-scratch initialization) keeps the replay byte-identical.
+
+  // Everything request-dependent is rebuilt from *this* request plus the
+  // replayed flags — the resuming run may differ from the recorded one in
+  // its lock set or in its whole guard assignment (active sets,
+  // priorities), so nothing of the sort is ever recorded. The rebuild
+  // reproduces exactly what a from-scratch run of this request holds
+  // after the step at ck.now: pending/dep-ready/act are pure functions of
+  // (active set, finished set, schedule), heap contents are the ready
+  // unstarted unlocked tasks, and heap pop order is a total order on
+  // (priority, id), making insertion order irrelevant.
+  const std::size_t n = fg_.task_count();
+  remaining_ = 0;
+  for (TaskId t = 0; t < n; ++t) {
+    if (!active(t)) continue;
+    if (!finished_[t]) ++remaining_;
+    bool has_pred = false;
+    Time last_done = 0;
+    std::size_t open = 0;
+    for (EdgeId e : fg_.deps().in_edges(t)) {
+      const TaskId pred = fg_.deps().edge(e).src;
+      if (!active(pred)) continue;
+      has_pred = true;
+      if (finished_[pred]) {
+        last_done = std::max(last_done, sched_.slot(pred).end);
+      } else {
+        ++open;
+      }
+    }
+    pending_[t] = open;
+    dep_ready_[t] = last_done;
+    act_[t] = open == 0 ? (has_pred ? last_done : 0) : kInf;
+  }
+  // Ready structures and lock-derived lists, in task-id order exactly
+  // like the from-scratch initialization.
   locked_tasks_.clear();
   locks_on_res_.assign(fg_.arch().pe_count(), {});
   bcast_pending_.clear();
-  for (TaskId t = 0; t < fg_.task_count(); ++t) {
+  hw_ready_.clear();
+  ready_.assign(fg_.arch().pe_count(), ReadyHeap());
+  for (TaskId t = 0; t < n; ++t) {
     if (!active(t)) continue;
     if (locked(t)) {
       locked_tasks_.push_back(t);
       locks_on_res_[lock(t).resource].push_back(t);
       continue;
     }
-    if (fg_.task(t).is_broadcast() && !started_[t]) {
-      bcast_pending_.push_back(t);
+    if (fg_.task(t).is_broadcast()) {
+      if (!started_[t]) bcast_pending_.push_back(t);
+      continue;
     }
+    if (!started_[t] && pending_[t] == 0) enqueue_ready(t);
   }
 }
 
@@ -608,11 +775,9 @@ void Engine::maybe_record(Time now, std::size_t steps) {
   if (++h.since_record < h.stride) return;
   h.since_record = 0;
   if (h.ckpt_count == EngineHistory::kMaxCheckpoints) {
-    // Thin: keep every second checkpoint, double the stride. Swapping
-    // (not move-assigning) keeps the dropped slots' buffer capacity warm
-    // for the next records into them.
+    // Thin: keep every second checkpoint, double the stride.
     for (std::size_t i = 1, j = 2; j < h.ckpt_count; ++i, j += 2) {
-      std::swap(h.ckpts[i], h.ckpts[j]);
+      h.ckpts[i] = h.ckpts[j];
     }
     h.ckpt_count = (h.ckpt_count + 1) / 2;
     h.stride *= 2;
@@ -621,23 +786,7 @@ void Engine::maybe_record(Time now, std::size_t steps) {
   EngineCheckpoint& ck = h.ckpts[h.ckpt_count++];
   ck.now = now;
   ck.steps = steps;
-  ck.remaining = remaining_;
-  ck.sched = sched_;
-  ck.pending = pending_;
-  ck.dep_ready = dep_ready_;
-  ck.started = started_;
-  ck.finished = finished_;
-  ck.busy_until = busy_until_;
-  ck.running = running_;
-  if (!use_masks_) {
-    ck.known = known_;
-  } else {
-    ck.known.clear();
-  }
-  ck.known_pos = known_pos_;
-  ck.known_neg = known_neg_;
-  ck.ready = ready_;
-  ck.hw_ready = hw_ready_;
+  ck.log_pos = h.log.size();
   ++ws_.stats.checkpoints;
 }
 
@@ -652,6 +801,7 @@ void Engine::finalize_history(const EngineResult& out, std::size_t steps) {
   h.locks = locks_;
   h.lock_fingerprint = lock_set_fingerprint(h.locks);
   h.act = act_;
+  h.cond_known = cond_known_;
   h.max_duration = max_duration_;
   h.feasible = out.feasible;
   if (out.feasible) h.final_schedule = sched_;
@@ -668,6 +818,9 @@ void Engine::start_task(TaskId t, Time now, PeId res) {
   const Time dur = fg_.task(t).duration;
   started_[t] = true;
   sched_.place(t, now, now + dur, res);
+  if (record_ckpts_) {
+    req_.history->log.push_back(StartEvent{t, now, now + dur, res});
+  }
   if (dur == 0) {
     complete_task(t, now);
     return;
@@ -676,6 +829,20 @@ void Engine::start_task(TaskId t, Time now, PeId res) {
     busy_until_[res] = now + dur;
   }
   running_.push_back(t);
+}
+
+// Knowledge updates. With exact masks the per-resource words are the
+// whole knowledge state (the known_ time matrix is not even allocated);
+// otherwise the time matrix drives the known_context fallbacks.
+void Engine::learn(PeId res, CondId c, Time when) {
+  if (recording_ && cond_known_[c] > when) cond_known_[c] = when;
+  if (use_masks_) {
+    if (const auto value = label_.value_of(c)) {
+      (*value ? known_pos_ : known_neg_)[res] |= std::uint64_t{1} << c;
+    }
+    return;
+  }
+  known_[res][c] = std::min(known_[res][c], when);
 }
 
 void Engine::complete_task(TaskId t, Time now) {
@@ -695,20 +862,6 @@ void Engine::complete_task(TaskId t, Time now) {
       if (heap) enqueue_ready(succ);
     }
   }
-  // Knowledge updates. With exact masks the per-resource words are the
-  // whole knowledge state (the known_ time matrix is not even allocated);
-  // otherwise the time matrix drives the known_context fallbacks.
-  const auto learn = [this](PeId res, CondId c, Time when) {
-    if (use_masks_) {
-      // The per-resource words are the whole knowledge state; the known_
-      // time matrix is not even allocated in this mode.
-      if (const auto value = label_.value_of(c)) {
-        (*value ? known_pos_ : known_neg_)[res] |= std::uint64_t{1} << c;
-      }
-      return;
-    }
-    known_[res][c] = std::min(known_[res][c], when);
-  };
   if (task.computes) {
     const CondId c = *task.computes;
     const PeId res = sched_.slot(t).resource;
@@ -760,11 +913,17 @@ EngineResult Engine::run() {
   cache_ = req_.cover_cache ? req_.cover_cache : &ws_.private_cache;
 
   // Checkpoint resume: only the heap engine records/resumes (the
-  // linear-scan reference always runs from scratch).
+  // linear-scan reference always runs from scratch). A valid history is
+  // usable either on exact identity up to the lock set (merge
+  // adjustments) or, lock-free, on a divergent guard assignment (tree
+  // driver chaining leaves of the guard trie).
   recording_ = req_.history != nullptr &&
                req_.resume == EngineResume::kCheckpoint && heap_mode();
   const bool history_usable =
       recording_ && req_.history->valid && history_matches(*req_.history);
+  const bool guard_usable = recording_ && req_.history->valid &&
+                            !history_usable &&
+                            history_guard_matches(*req_.history);
   if (history_usable) {
     EngineHistory& h = *req_.history;
     if (lock_set_fingerprint(locks_) == h.lock_fingerprint &&
@@ -843,8 +1002,11 @@ EngineResult Engine::run() {
   std::size_t resumed_steps = 0;
   if (recording_) {
     EngineHistory& h = *req_.history;
-    if (history_usable) {
-      const Time limit = divergence_limit(h);
+    cond_known_.assign(fg_.cpg().conditions().size(), kInf);
+    Time limit = 0;
+    if (history_usable || guard_usable) {
+      limit =
+          history_usable ? divergence_limit(h) : guard_divergence_limit(h);
       const EngineCheckpoint* best = nullptr;
       std::size_t best_idx = 0;
       for (std::size_t i = 0; i < h.ckpt_count; ++i) {
@@ -860,7 +1022,9 @@ EngineResult Engine::run() {
         resumed = true;
         resumed_step_pending = true;  // the step at `now` is already done
         resumed_steps = best->steps;
-        h.ckpt_count = best_idx + 1;  // the suffix belongs to the old run
+        // The suffix belongs to the old run; the continuation re-appends.
+        h.ckpt_count = best_idx + 1;
+        h.log.resize(best->log_pos);
         ++ws_.stats.resumes;
         ws_.stats.resumed_steps += resumed_steps;
       }
@@ -873,11 +1037,18 @@ EngineResult Engine::run() {
       h.valid = false;  // consistent again once finalize_history runs
     }
     // Demand-driven recording: this run is worth checkpointing if the
-    // caller said so up front (eager) or a same-identity rerun has been
+    // caller said so up front (eager) or a usable-history rerun has been
     // observed — which includes this very run: history_usable means the
     // identity matched but the locks did not (the full-reuse test above
-    // already failed), i.e. reruns demonstrably happen on this history.
-    h.record = history_usable;
+    // already failed), guard_usable means a sibling guard assignment
+    // arrived; either way, reruns demonstrably happen on this history.
+    // Guard-divergence chains additionally require a resume to be
+    // plausible (limit > 0): when sibling priorities diverge right at
+    // t=0 — unbalanced arm durations shift every shared critical-path
+    // priority — no checkpoint can ever be restored, and per-step
+    // recording would be pure overhead on every leaf of the trie.
+    h.record =
+        history_usable || (guard_usable && (resumed || limit > 0));
     record_ckpts_ = h.eager || h.record;
   }
 
@@ -979,16 +1150,25 @@ EngineResult run_list_scheduler(const FlatGraph& fg,
   return run_list_scheduler(fg, request, workspace);
 }
 
-PathSchedule schedule_path(const FlatGraph& fg, const AltPath& path,
-                           PriorityPolicy policy, Rng* rng,
-                           ReadySelection selection, CoverCache* cover_cache,
-                           EngineWorkspace* workspace) {
+EngineRequest make_path_request(const FlatGraph& fg, const AltPath& path,
+                                PriorityPolicy policy, Rng* rng,
+                                ReadySelection selection,
+                                CoverCache* cover_cache) {
   EngineRequest req;
   req.label = path.label;
   req.active = fg.active_tasks(path.label, cover_cache);
   req.priority = compute_priorities(fg, req.active, policy, rng);
   req.selection = selection;
   req.cover_cache = cover_cache;
+  return req;
+}
+
+PathSchedule schedule_path(const FlatGraph& fg, const AltPath& path,
+                           PriorityPolicy policy, Rng* rng,
+                           ReadySelection selection, CoverCache* cover_cache,
+                           EngineWorkspace* workspace) {
+  const EngineRequest req =
+      make_path_request(fg, path, policy, rng, selection, cover_cache);
   EngineResult res = workspace ? run_list_scheduler(fg, req, *workspace)
                                : run_list_scheduler(fg, req);
   CPS_ASSERT(res.feasible,

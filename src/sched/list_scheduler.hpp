@@ -93,6 +93,15 @@ EngineResult run_list_scheduler(const FlatGraph& fg,
 EngineResult run_list_scheduler(const FlatGraph& fg,
                                 const EngineRequest& request);
 
+/// Build the per-path engine request of `schedule_path` (active set +
+/// priorities for one alternative path) without running the engine. The
+/// tree driver uses it to attach resume options — an EngineHistory
+/// chained across the leaves of the guard trie — before dispatch.
+EngineRequest make_path_request(const FlatGraph& fg, const AltPath& path,
+                                PriorityPolicy policy, Rng* rng,
+                                ReadySelection selection,
+                                CoverCache* cover_cache);
+
 /// Convenience wrapper: schedule one alternative path with the given
 /// priority policy (initial per-path scheduling). Throws InternalError if
 /// the path is unschedulable (cannot happen for a validated CPG).

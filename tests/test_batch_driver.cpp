@@ -103,6 +103,47 @@ TEST(BatchDriver, HeapAndLinearEnginesAgreeOnResults) {
   }
 }
 
+TEST(BatchDriver, TreeAndListSchedulingAgreeOnResults) {
+  BatchConfig config = small_config();
+  config.cpg.path_count = 12;
+  // Balanced execution times keep sibling paths' critical-path priorities
+  // identical across the shared prefix — the regime where the guard-trie
+  // chain actually resumes (heterogeneous durations shift priorities at
+  // t=0 and the engine adaptively stops recording; still byte-identical).
+  config.cpg.exec_min = 4;
+  config.cpg.exec_max = 4;
+  config.cpg.comm_min = 2;
+  config.cpg.comm_max = 2;
+  config.synthesis.path_scheduling = PathScheduling::kTree;
+  const BatchResult tree = run_batch(config);
+  config.synthesis.path_scheduling = PathScheduling::kList;
+  const BatchResult list = run_batch(config);
+  ASSERT_EQ(tree.items.size(), list.items.size());
+  std::size_t resumes = 0;
+  for (std::size_t i = 0; i < tree.items.size(); ++i) {
+    EXPECT_EQ(tree.items[i].ok, list.items[i].ok);
+    EXPECT_EQ(tree.items[i].delta_m, list.items[i].delta_m);
+    EXPECT_EQ(tree.items[i].delta_max, list.items[i].delta_max);
+    EXPECT_EQ(tree.items[i].table_entries, list.items[i].table_entries);
+    EXPECT_EQ(tree.items[i].paths, list.items[i].paths);
+    // Items run the serial tree chain; the list reference never resumes.
+    EXPECT_EQ(tree.items[i].tree.subtrees_parallel, 0u);
+    EXPECT_EQ(list.items[i].tree.prefix_resumes, 0u);
+    resumes += tree.items[i].tree.prefix_resumes;
+  }
+  EXPECT_GT(resumes, 0u);
+}
+
+TEST(BatchDriver, JsonCarriesPathTreeCounters) {
+  const BatchConfig config = small_config();
+  const std::string json =
+      batch_result_to_json(run_batch(config), deterministic_json());
+  EXPECT_NE(json.find("\"path_scheduling\": \"tree\""), std::string::npos);
+  EXPECT_NE(json.find("\"path_tree\""), std::string::npos);
+  EXPECT_NE(json.find("\"prefix_resumes\""), std::string::npos);
+  EXPECT_NE(json.find("\"subtrees_parallel\": 0"), std::string::npos);
+}
+
 TEST(BatchDriver, SummaryAggregatesOnlySuccessfulItems) {
   BatchConfig config = small_config();
   config.count = 5;

@@ -433,6 +433,55 @@ TEST(ListScheduler, CheckpointResumeMatchesScratchOnEvolvingLockSets) {
   EXPECT_GT(incremental, 0u);
 }
 
+// Randomized guard-divergence equivalence: one EngineHistory chained
+// across every alternative path of seeded CPGs in enumeration order (the
+// tree driver's usage pattern — consecutive leaves share the longest
+// guard prefix), every chained run compared against a fresh from-scratch
+// engine. This is the engine-level pillar under the driver-level
+// tree-vs-list suite in test_path_tree.cpp.
+TEST(ListScheduler, GuardResumeMatchesScratchAcrossChainedLeaves) {
+  std::size_t resumed = 0;
+  std::size_t resumed_steps = 0;
+  for (std::uint64_t seed = 41; seed <= 70; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    const Architecture arch = generate_random_architecture(rng);
+    RandomCpgParams params;
+    params.process_count = 20 + (seed % 3) * 10;
+    params.path_count = 6 + (seed % 4) * 6;
+    const Cpg g = generate_random_cpg(arch, params, rng);
+    const FlatGraph fg = FlatGraph::expand(g);
+    EngineWorkspace chain_ws;
+    EngineWorkspace scratch_ws;
+    EngineHistory chain;
+    chain.eager = true;
+    for (const AltPath& path : enumerate_paths(g)) {
+      EngineRequest req;
+      req.label = path.label;
+      req.active = fg.active_tasks(path.label);
+      req.priority = compute_priorities(fg, req.active,
+                                        PriorityPolicy::kCriticalPath);
+      EngineRequest scratch = req;
+      req.resume = EngineResume::kCheckpoint;
+      req.history = &chain;
+      const EngineResult a = run_list_scheduler(fg, req, chain_ws);
+      const EngineResult b = run_list_scheduler(fg, scratch, scratch_ws);
+      expect_engine_equal(fg, a, b);
+      ASSERT_TRUE(a.feasible);
+      EXPECT_FALSE(a.full_reuse);  // labels of distinct leaves differ
+      if (a.resumed) {
+        ++resumed;
+        resumed_steps += a.resumed_steps;
+      }
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
+  // The chain must actually reuse shared prefixes, not degrade to
+  // from-scratch runs.
+  EXPECT_GT(resumed, 0u);
+  EXPECT_GT(resumed_steps, 0u);
+}
+
 // Property sweep: schedules of random CPGs satisfy all physical
 // invariants on every path and with every priority policy.
 struct SweepParam {
