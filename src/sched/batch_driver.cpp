@@ -16,6 +16,15 @@ double ms_between(clock_type::time_point a, clock_type::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+/// Fixed trie-decomposition target for batch items (unless the caller
+/// pinned synthesis.subtree_frontier themselves). Pool-size-independent
+/// on purpose: the SAME subtree jobs run at every thread count — on pool
+/// workers when the batch has a runtime, inline otherwise — which is what
+/// keeps batch JSON byte-identical while still exposing inner work for
+/// stealing. Small, because per-item parallelism only has to fill the
+/// gaps work-stealing finds between whole items.
+constexpr std::size_t kBatchSubtreeFrontier = 4;
+
 void add_item_stats(BatchSummary& s, const BatchItem& item) {
   ++s.count;
   if (!item.ok) return;
@@ -113,7 +122,8 @@ void write_item(JsonWriter& w, const BatchItem& item,
 
 }  // namespace
 
-BatchItem run_batch_item(const BatchConfig& config, std::size_t index) {
+BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
+                         ThreadPool* runtime) {
   BatchItem item;
   item.index = index;
   item.seed = config.base_seed + index;
@@ -126,17 +136,21 @@ BatchItem run_batch_item(const BatchConfig& config, std::size_t index) {
     // Every item co-synthesizes on its own engine workspace: a workspace
     // is single-threaded and sharing one across pool workers would both
     // race and make the per-item reuse counters depend on scheduling
-    // (breaking the byte-identical JSON guarantee). The per-call
-    // workspace still amortizes allocations across all paths and merge
-    // runs of the item. For the same reason tree-mode scheduling runs
-    // its serial chain (the batch's parallelism is across graphs), and
-    // items do not retain their path vectors — thousand-graph batches
-    // would otherwise carry O(paths × depth) dead weight apiece.
+    // (breaking the byte-identical JSON guarantee). Inner parallelism —
+    // subtree jobs and speculative merge adjustments — rides the shared
+    // batch runtime via schedule_pool, with the trie decomposition pinned
+    // to a fixed frontier so the split (and with it every per-item
+    // counter) cannot depend on pool size. Items do not retain their path
+    // vectors — thousand-graph batches would otherwise carry
+    // O(paths × depth) dead weight apiece.
     CoSynthesisOptions synthesis = config.synthesis;
     synthesis.workspace = nullptr;
     synthesis.schedule_threads = 1;
-    synthesis.schedule_pool = nullptr;
+    synthesis.schedule_pool = runtime;
     synthesis.keep_paths = false;
+    if (synthesis.subtree_frontier == 0) {
+      synthesis.subtree_frontier = kBatchSubtreeFrontier;
+    }
     const CoSynthesisResult result = schedule_cpg(g, synthesis);
 
     item.ok = true;
@@ -175,18 +189,29 @@ BatchResult run_batch(const BatchConfig& config) {
 
   const auto t_begin = clock_type::now();
   if (config.count > 0) {
-    // Item i is a pure function of base_seed + i, so the pool's
-    // assignment order cannot influence the results.
-    const auto body = [&](std::size_t i) {
-      result.items[i] = run_batch_item(config, i);
-    };
     if (threads <= 1) {
-      for (std::size_t i = 0; i < config.count; ++i) body(i);
+      // Serial reference: no pool at all. Items still run the same fixed
+      // trie decomposition, just inline — so the results (and the JSON,
+      // minus timing) match the pooled run byte for byte.
+      for (std::size_t i = 0; i < config.count; ++i) {
+        result.items[i] = run_batch_item(config, i, nullptr);
+      }
     } else {
-      // The calling thread participates in parallel_for, so the pool only
-      // needs threads - 1 workers to reach the requested parallelism.
+      // One runtime for everything. Whole items are kLow so the stealable
+      // backlog of graphs never starves inner work: an item's subtree
+      // jobs (kNormal) and speculative merge adjustments (kHigh) always
+      // jump the queue, and idle workers fall back to stealing the next
+      // graph. The calling thread participates in parallel_for, so the
+      // pool only needs threads - 1 workers to reach the requested
+      // parallelism.
       ThreadPool pool(threads - 1);
-      pool.parallel_for(config.count, body);
+      pool.parallel_for(
+          config.count,
+          [&](std::size_t i) {
+            result.items[i] = run_batch_item(config, i, &pool);
+          },
+          TaskPriority::kLow);
+      result.summary.pool = pool.stats();
     }
   }
   result.summary.wall_ms = ms_between(t_begin, clock_type::now());
@@ -243,6 +268,18 @@ std::string batch_result_to_json(const BatchResult& result,
     write_stat(w, "merge", s.merge_ms);
     write_stat(w, "validate", s.validate_ms);
     write_stat(w, "total", s.total_ms);
+    w.end_object();
+    // Work-stealing runtime counters ride the include_timing gate: like
+    // wall_ms they are a legitimate race (who stole what when), so they
+    // must stay out of byte-identical golden output.
+    w.key("runtime").begin_object();
+    w.field("submitted", s.pool.submitted);
+    w.field("executed", s.pool.executed);
+    w.field("local_hits", s.pool.local_hits);
+    w.field("steals", s.pool.steals);
+    w.field("injected", s.pool.injected);
+    w.field("help_runs", s.pool.help_runs);
+    w.field("max_help_depth", s.pool.max_help_depth);
     w.end_object();
   }
   w.end_object();

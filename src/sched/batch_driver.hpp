@@ -2,10 +2,16 @@
 //
 // The paper's experiments (§6) co-synthesize ~1080 random CPGs; the
 // ROADMAP's north star is "thousands of scenarios, as fast as the hardware
-// allows". This driver is the scaling substrate: a thread pool
-// co-synthesizes N random CPGs in parallel, each graph derived from a
-// deterministic per-task seed (base_seed + index), so results are
-// byte-identical regardless of thread count or completion order. Per-graph
+// allows". This driver is the scaling substrate: ONE work-stealing
+// runtime (support/thread_pool) co-synthesizes N random CPGs in parallel
+// and also runs each item's inner parallelism — guard-trie subtree jobs
+// and speculative merge adjustments are submitted to the same pool at
+// higher priorities, so nested work saturates the machine instead of
+// serializing inside items or oversubscribing it with per-item pools.
+// Each graph derives from a deterministic per-task seed (base_seed +
+// index) and each item pins its trie decomposition (a fixed subtree
+// frontier, independent of pool size), so results are byte-identical
+// regardless of thread count or completion order. Per-graph
 // pipeline-stage timings and delay/merge statistics are aggregated via
 // support/stats and exported as machine-readable JSON (support/json) for
 // the benchmark harness and external tooling.
@@ -59,9 +65,10 @@ struct BatchItem {
   /// counters are a pure function of the seed; the merge-side workspace
   /// split is timing-dependent under speculation and not exported).
   WorkspaceStats workspace;
-  /// Guard-trie scheduling counters (PathScheduling::kTree). Items
-  /// schedule on the serial tree chain — the batch already parallelizes
-  /// across graphs — so these are a pure function of the seed too.
+  /// Guard-trie scheduling counters (PathScheduling::kTree). Items pin
+  /// their trie decomposition to a fixed subtree frontier (independent of
+  /// pool size — the subtree jobs just run inline when the batch is
+  /// serial), so these are a pure function of the seed too.
   PathTreeStats tree;
 
   // Wall-clock per pipeline stage (milliseconds).
@@ -92,6 +99,12 @@ struct BatchSummary {
   StatAccumulator merge_ms;
   StatAccumulator validate_ms;
   StatAccumulator total_ms;
+
+  /// Work-stealing runtime counters over the whole batch (zero for serial
+  /// runs — no pool exists then). Like the wall-clock fields these are
+  /// timing-dependent (which worker stole what is a legitimate race), so
+  /// the JSON writer gates them behind include_timing.
+  PoolStats pool;
 };
 
 struct BatchResult {
@@ -101,7 +114,11 @@ struct BatchResult {
 };
 
 /// Run one item of the batch (exposed for tests and custom harnesses).
-BatchItem run_batch_item(const BatchConfig& config, std::size_t index);
+/// `runtime` is the shared work-stealing pool the item's inner subtree
+/// jobs and speculative merge adjustments ride on; nullptr runs them
+/// inline on the calling thread — same decomposition, same results.
+BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
+                         ThreadPool* runtime = nullptr);
 
 /// Run the whole batch on the configured thread pool. Per-item failures
 /// (generation or validation errors) are captured in the item, not thrown.

@@ -96,15 +96,18 @@ ScheduleStage run_serial_stage(const Cpg& g, const FlatGraph& flat,
   return out;
 }
 
-/// Parallel tree walk: split the guard trie into a depth-first frontier
-/// of independent subtrees, chain-schedule each subtree's leaves on a
-/// pool worker (per-worker EngineWorkspace slot, per-job history and
-/// cover cache), and commit the results in deterministic frontier order —
-/// the concatenation is exactly the serial enumeration order, so every
-/// downstream consumer sees byte-identical inputs.
-std::optional<ScheduleStage> run_parallel_stage(
+/// Decomposed tree walk: split the guard trie into a depth-first frontier
+/// of independent subtrees, chain-schedule each subtree's leaves as one
+/// job (private EngineWorkspace, history and cover cache per job), and
+/// commit the results in deterministic frontier order — the concatenation
+/// is exactly the serial enumeration order, so every downstream consumer
+/// sees byte-identical inputs. The jobs run on the work-stealing runtime
+/// when one is available and inline otherwise; because every piece of
+/// per-job state is private to the job, all serialized counters are pure
+/// functions of the decomposition, not of who ran what where.
+std::optional<ScheduleStage> run_decomposed_stage(
     const Cpg& g, const FlatGraph& flat, const CoSynthesisOptions& options,
-    std::size_t threads) {
+    std::size_t target, ThreadPool* pool) {
   ScheduleStage out;
   const auto e0 = clock_type::now();
   // The budget check pre-counts with one cheap enumeration pass (jobs
@@ -117,7 +120,7 @@ std::optional<ScheduleStage> run_parallel_stage(
     throw_path_budget(options.max_paths);
   }
   const PathTree tree(g);
-  const std::vector<PathTree::Node> jobs = tree.frontier(threads * 4);
+  const std::vector<PathTree::Node> jobs = tree.frontier(target);
   if (jobs.size() <= 1) return std::nullopt;  // nothing to split
   out.enumerate_ms = ms_between(e0, clock_type::now());
 
@@ -132,20 +135,13 @@ std::optional<ScheduleStage> run_parallel_stage(
   std::vector<JobResult> results(jobs.size());
 
   const auto s0 = clock_type::now();
-  ThreadPool* pool = options.schedule_pool;
-  std::unique_ptr<ThreadPool> owned_pool;
-  if (pool == nullptr) {
-    // The calling thread participates in parallel_for, so threads - 1
-    // workers reach the requested parallelism.
-    owned_pool = std::make_unique<ThreadPool>(threads - 1);
-    pool = owned_pool.get();
-  }
-  WorkerLocal<EngineWorkspace> workspaces(*pool);
-  pool->parallel_for(jobs.size(), [&](std::size_t i) {
+  const auto run_job = [&](std::size_t i) {
     JobResult& r = results[i];
     try {
-      EngineWorkspace& ws = workspaces.local();
-      const WorkspaceStats ws_before = ws.stats;
+      // Private workspace per job (not a per-worker slot): the
+      // warm-buffer reuse counters become part of the job, so the
+      // aggregated WorkspaceStats cannot depend on work-stealing luck.
+      EngineWorkspace ws;
       CoverCache cover_cache;  // per job: keeps the counters deterministic
       EngineHistory chain;     // demand-driven recording, like the serial walk
       PathEnumerator en = tree.leaves(jobs[i].context);
@@ -169,11 +165,15 @@ std::optional<ScheduleStage> run_parallel_stage(
       }
       r.cover_cache = cover_cache.stats();
       r.workspace = ws.stats;
-      r.workspace -= ws_before;
     } catch (...) {
       r.error = std::current_exception();
     }
-  });
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(jobs.size(), run_job);
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_job(i);
+  }
   out.schedule_ms = ms_between(s0, clock_type::now());
 
   // Commit in frontier (= depth-first) order; the first failure in that
@@ -215,23 +215,52 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
                   ? options.schedule_pool->thread_count() + 1
                   : ThreadPool::resolve_threads(options.schedule_threads);
   }
+  // The trie is decomposed when parallelism asks for it OR when a fixed
+  // frontier pins the split (the batch driver's byte-identical contract:
+  // the same decomposition must run at every thread count, pool or not).
+  bool decompose = tree && (threads > 1 || options.subtree_frontier != 0);
   if (options.path_priority == PriorityPolicy::kRandom) {
     // The per-path priority draws consume the flow RNG in enumeration
     // order; that order is part of the reproducible serial behavior and
-    // cannot be split across workers.
+    // cannot be split across jobs.
     threads = 1;
+    decompose = false;
   }
+
+  // One work-stealing runtime for the whole call: subtree jobs, and —
+  // unless the caller pinned merge.pool/merge.threads — the merge's
+  // speculative workers ride the same pool, whether it came from the
+  // caller (batch driver) or is owned here.
+  ThreadPool* runtime = options.schedule_pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (runtime == nullptr && decompose && threads > 1) {
+    // The calling thread participates in parallel_for, so threads - 1
+    // workers reach the requested parallelism.
+    owned_pool = std::make_unique<ThreadPool>(threads - 1);
+    runtime = owned_pool.get();
+  }
+  PoolStats pool_before;
+  if (runtime != nullptr) pool_before = runtime->stats();
+
   std::optional<ScheduleStage> stage_opt;
-  if (tree && threads > 1) {
-    stage_opt = run_parallel_stage(g, *flat, options, threads);
+  if (decompose) {
+    const std::size_t target = options.subtree_frontier != 0
+                                   ? options.subtree_frontier
+                                   : threads * 4;
+    stage_opt = run_decomposed_stage(g, *flat, options, target, runtime);
   }
   ScheduleStage stage = stage_opt
                             ? std::move(*stage_opt)
                             : run_serial_stage(g, *flat, options, rng, tree);
 
   const auto t3 = clock_type::now();
+  MergeOptions merge_opts = options.merge;
+  if (merge_opts.pool == nullptr && merge_opts.threads == 0 &&
+      runtime != nullptr) {
+    merge_opts.pool = runtime;
+  }
   MergeResult merged =
-      merge_schedules(*flat, stage.paths, stage.schedules, options.merge);
+      merge_schedules(*flat, stage.paths, stage.schedules, merge_opts);
   const auto t4 = clock_type::now();
   if (!merged.ok) {
     throw ValidationError("schedule merging failed: " + merged.error);
@@ -265,6 +294,11 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
     stage.schedules = {};
   }
 
+  PoolStats pool_delta;
+  if (runtime != nullptr) {
+    pool_delta = runtime->stats().delta_since(pool_before);
+  }
+
   return CoSynthesisResult{std::move(flat),
                            std::move(stage.paths),
                            std::move(stage.schedules),
@@ -275,6 +309,7 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
                            stage.workspace,
                            merged.workspace,
                            stage.tree,
+                           pool_delta,
                            std::move(delays),
                            timings};
 }

@@ -8,10 +8,9 @@
 #include "sched/delay.hpp"
 #include "sched/merge.hpp"
 #include "sched/table_validate.hpp"
+#include "support/thread_pool.hpp"
 
 namespace cps {
-
-class ThreadPool;
 
 /// How the per-path scheduling stage walks the alternative-path set.
 ///
@@ -30,18 +29,21 @@ enum class PathScheduling : std::uint8_t { kList, kTree };
 
 const char* to_string(PathScheduling s);
 
-/// Counters of the guard-trie scheduling stage. Deterministic for the
-/// serial tree walk (schedule_threads == 1, the batch driver's setting);
-/// with parallel subtree dispatch the subtree split — and with it the
-/// chain boundaries — is a function of the resolved thread count, so the
-/// counters are deterministic *per thread count* (the schedules never
-/// vary). Zero in kList mode.
+/// Counters of the guard-trie scheduling stage. With a fixed subtree
+/// decomposition (CoSynthesisOptions::subtree_frontier != 0, the batch
+/// driver's setting) every counter is a pure function of the trie —
+/// byte-identical at any pool size, including none. With the adaptive
+/// split (subtree_frontier == 0) the decomposition is a function of the
+/// resolved thread count, so the counters are deterministic *per thread
+/// count* (the schedules never vary either way). Zero in kList mode.
 struct PathTreeStats {
   /// Leaf engine runs resumed from a shared-prefix checkpoint.
   std::size_t prefix_resumes = 0;
   /// Committed time steps those resumes skipped (vs from-scratch).
   std::size_t resumed_steps = 0;
-  /// Subtree jobs dispatched to the thread pool (0 = serial walk).
+  /// Subtree jobs the decomposed walk committed (0 = serial chain walk).
+  /// They ran on pool workers when a pool was available, inline
+  /// otherwise — the count is the same either way.
   std::size_t subtrees_parallel = 0;
 
   PathTreeStats& operator+=(const PathTreeStats& o) {
@@ -72,9 +74,9 @@ struct CoSynthesisOptions {
   /// scheduling loop: callers that co-synthesize repeatedly on one thread
   /// (benches, custom harnesses) can pay the buffer allocations once
   /// across calls. Must outlive the call and must not be used
-  /// concurrently. Serial walks only (parallel subtree dispatch uses
-  /// per-worker slots instead). nullptr = the flow owns a workspace per
-  /// call (still reused across all paths of that call).
+  /// concurrently. Serial walks only (the decomposed tree walk owns one
+  /// private workspace per subtree job instead). nullptr = the flow owns
+  /// a workspace per call (still reused across all paths of that call).
   EngineWorkspace* workspace = nullptr;
   /// Per-path scheduling strategy (see PathScheduling). Tree mode is the
   /// production default; the path-list reference is retained for
@@ -87,13 +89,26 @@ struct CoSynthesisOptions {
   /// reproducible serial order). The schedules are byte-identical at
   /// every value.
   std::size_t schedule_threads = 1;
-  /// Optional externally owned pool for tree-mode subtree dispatch: lets
-  /// callers that co-synthesize repeatedly pay the worker spawn cost
-  /// once. When set it replaces `schedule_threads` entirely — the
-  /// parallelism is the pool's workers plus the participating calling
-  /// thread. Must outlive the call. nullptr = the flow spawns workers
-  /// per call when the resolved `schedule_threads` exceeds 1.
+  /// Optional externally owned pool — the unified work-stealing runtime —
+  /// for tree-mode subtree dispatch AND (unless merge.pool/merge.threads
+  /// say otherwise) the merge's speculative workers: one pool serves
+  /// every nesting level, so a batch of tree-scheduled items saturates
+  /// the machine instead of oversubscribing it. When set it replaces
+  /// `schedule_threads` for sizing — the parallelism is the pool's
+  /// workers plus the participating calling thread. Must outlive the
+  /// call. nullptr = the flow spawns workers per call when the resolved
+  /// `schedule_threads` exceeds 1.
   ThreadPool* schedule_pool = nullptr;
+  /// Subtree decomposition target of the tree walk. 0 (default) adapts
+  /// the split to the resolved parallelism (4 subtree jobs per thread;
+  /// serial walks keep the single resume chain — the most prefix reuse).
+  /// A non-zero value carves the trie into at least this many DFS-ordered
+  /// subtree jobs *regardless of pool size* — even with no pool at all —
+  /// making every per-call counter (PathTreeStats, workspace,
+  /// cover_cache) a pure function of the graph. The batch driver sets
+  /// this so batch JSON stays byte-identical across thread counts while
+  /// inner subtree jobs still ride the shared runtime.
+  std::size_t subtree_frontier = 0;
   /// Materialize `CoSynthesisResult::paths` / `path_schedules`. They are
   /// always *built* (the merge consumes them) but with keep_paths off the
   /// result drops them before returning — thousand-graph batches stop
@@ -126,18 +141,17 @@ struct CoSynthesisResult {
   MergeStats merge_stats;
   /// Counters of the per-path scheduling cover cache (guard coverage
   /// memoization). A pure function of the input graph and options for
-  /// serial walks; parallel subtree dispatch uses one private cache per
-  /// subtree job, aggregated in job order, so the counters are
-  /// deterministic per resolved thread count.
+  /// serial walks; the decomposed tree walk uses one private cache per
+  /// subtree job, aggregated in job order, so the counters are a pure
+  /// function of the decomposition (see PathTreeStats).
   CoverCacheStats cover_cache;
   /// Engine-workspace counters of the per-path scheduling loop (buffer
   /// reuse across the paths of this call). Deterministic for serial walks
-  /// (kList, or kTree with schedule_threads == 1), like `cover_cache`;
-  /// counts only this call's runs even on a shared external workspace.
-  /// Under parallel subtree dispatch the warm-buffer split depends on
-  /// which worker ran which job, so `reuse_hits` may vary run-to-run
-  /// (the remaining counters are per-job and deterministic per thread
-  /// count).
+  /// (kList, or kTree with one resume chain); counts only this call's
+  /// runs even on a shared external workspace. The decomposed tree walk
+  /// owns one private workspace per subtree job, so these counters too
+  /// are a pure function of the decomposition — no dependence on which
+  /// worker ran which job.
   WorkspaceStats workspace;
   /// Aggregated engine-workspace counters of the merge (walking thread +
   /// speculative workers): checkpoint resumes, full reuses, resumed
@@ -147,6 +161,12 @@ struct CoSynthesisResult {
   /// Guard-trie scheduling counters (see PathTreeStats for the
   /// determinism contract). Zero under PathScheduling::kList.
   PathTreeStats tree;
+  /// Work-stealing runtime counters accumulated over this call (zero
+  /// when no pool participated). Timing-dependent — which worker popped
+  /// which task is a legitimate race — and, on a shared runtime,
+  /// polluted by concurrent callers; informational only, never part of
+  /// byte-identical outputs.
+  PoolStats pool;
   DelayReport delays;
   StageTimings timings;
 

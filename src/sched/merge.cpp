@@ -509,10 +509,15 @@ std::shared_ptr<SpecJob> Merger::spawn(const Cube& ancestors,
   job->spawn_locks = job->base.locks;
   job->workspaces = worker_ws_.get();
   outstanding_.push_back(job);
-  pool_->submit([job] {
-    if (job->claimed.exchange(true)) return;  // the walk got there first
-    job->run();
-  });
+  // High priority: on a shared runtime a speculative adjustment is on
+  // the walking thread's critical path *right now*, so it must jump
+  // ahead of queued batch items and subtree jobs.
+  pool_->submit(
+      [job] {
+        if (job->claimed.exchange(true)) return;  // the walk got there first
+        job->run();
+      },
+      TaskPriority::kHigh);
   return job;
 }
 

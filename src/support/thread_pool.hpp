@@ -1,17 +1,40 @@
-// Reusable fixed-size worker pool.
+// Work-stealing task runtime.
 //
-// Grown out of the batch driver's ad-hoc thread spawning: every parallel
-// subsystem (batch co-synthesis, speculative schedule merging) now shares
-// this one primitive instead of rolling its own std::thread vectors.
+// Grown out of the batch driver's ad-hoc thread spawning, then a central
+// mutex + single queue pool, and now a work-stealing scheduler: every
+// parallel subsystem (batch co-synthesis, speculative schedule merging,
+// guard-trie subtree dispatch) shares ONE pool instead of each carving a
+// slice of the machine — nested parallelism (a batch of tree-scheduled
+// items) keeps all cores busy instead of oversubscribing or degenerating
+// to serial inner execution.
+//
+// Scheduler shape (cf. managarm's per-CPU run queues in SNIPPETS):
+//  * per-worker deques, one per priority level — the owner pushes and
+//    pops at the back (LIFO: a worker's freshest task is the hottest),
+//    thieves steal from the front (FIFO: the oldest task is the largest
+//    remaining subtree, and the owner's end stays uncontended);
+//  * a global injection queue for submissions from non-worker threads;
+//  * strict priority ordering across ALL sources: a worker prefers a
+//    kHigh task anywhere (own deque, injection queue, someone else's
+//    deque) over its own kNormal work, so walk-critical jobs (the
+//    merger's speculative adjustments, which DFS-order commits wait on)
+//    are never starved behind bulk batch items;
+//  * nesting support — a task that must wait for child tasks *help-runs*
+//    them (TaskGroup::wait) instead of blocking its worker, so a batch
+//    item running on a worker can fan its subtree jobs out on the same
+//    pool without deadlock and without idling the worker.
 //
 // Design constraints, in order:
 //  * determinism friendliness — the pool never decides *what* result is
 //    produced, only *where* a pure function runs. Callers that need
-//    byte-identical output across thread counts (batch driver, merge)
-//    keep their own commit ordering; the pool makes no ordering promise.
-//  * deadlock freedom under nesting — jobs may themselves own claim
-//    flags (see the speculative merger) so a blocked consumer can always
-//    steal un-started work back and run it inline.
+//    byte-identical output across thread counts (batch driver, merge,
+//    tree-mode scheduling) keep their own commit ordering; the pool makes
+//    no ordering promise beyond priority preference.
+//  * deadlock freedom under nesting — TaskGroup::wait help-runs its own
+//    group's queued tasks (a waiter never idles while its children are
+//    runnable), and jobs may additionally own claim flags (see the
+//    speculative merger) so a blocked consumer can always steal
+//    un-started work back and run it inline.
 //  * cheap idling — workers sleep on a condition variable; an idle pool
 //    costs nothing, so a process-wide shared() instance is safe to keep
 //    alive for the program's lifetime.
@@ -20,13 +43,44 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace cps {
+
+/// Scheduling preference of a submitted task. Workers scan levels in
+/// order, across every source, before looking at the next level.
+enum class TaskPriority : std::uint8_t {
+  kHigh = 0,    ///< walk-critical (speculative merge adjustments)
+  kNormal = 1,  ///< default (subtree jobs, parallel_for helpers)
+  kLow = 2,     ///< bulk background work (batch items)
+};
+
+/// Cumulative scheduler counters. Timing-dependent by nature (which
+/// worker pops which task is a race the scheduler is *allowed* to have):
+/// consumers surface them only through timing-gated outputs, never
+/// through byte-identical ones. All counters are monotonic except
+/// max_help_depth, which is a high-water mark.
+struct PoolStats {
+  std::uint64_t submitted = 0;   ///< tasks handed to the pool
+  std::uint64_t executed = 0;    ///< tasks completed (any thread)
+  std::uint64_t local_hits = 0;  ///< owner popped its own deque (LIFO)
+  std::uint64_t steals = 0;      ///< popped another worker's deque (FIFO)
+  std::uint64_t injected = 0;    ///< popped the external injection queue
+  std::uint64_t help_runs = 0;   ///< tasks run inside a TaskGroup::wait
+  std::uint64_t max_help_depth = 0;  ///< deepest observed help nesting
+
+  /// Counter difference against an earlier snapshot of the same pool
+  /// (max_help_depth keeps this snapshot's high-water mark).
+  PoolStats delta_since(const PoolStats& before) const;
+};
+
+class TaskGroup;
 
 class ThreadPool {
  public:
@@ -46,20 +100,26 @@ class ThreadPool {
   std::size_t thread_count() const { return workers_.size(); }
 
   /// Enqueue a job. Jobs must not throw (wrap and capture exceptions via
-  /// std::exception_ptr on the caller's side); an escaping exception
-  /// terminates the process, as with raw std::thread.
-  void submit(std::function<void()> job);
+  /// std::exception_ptr on the caller's side, or use TaskGroup, which
+  /// does exactly that); an escaping exception terminates the process, as
+  /// with raw std::thread.
+  void submit(std::function<void()> job,
+              TaskPriority priority = TaskPriority::kNormal);
 
   /// Block until the queue is empty and no job is running.
   void wait_idle();
 
   /// Run body(i) for every i in [0, count). The calling thread
-  /// participates (work stealing over a shared atomic counter), so the
-  /// call also works on a zero-thread pool and never deadlocks when
-  /// invoked from inside another pool's job. Returns when every index
-  /// has completed. `body` must be safe to invoke concurrently.
+  /// participates (work distribution over a shared atomic counter), and
+  /// while waiting for straggler helpers it help-runs their queued tasks,
+  /// so the call never deadlocks when invoked from inside another job on
+  /// the same pool. Returns when every index has completed. `body` must
+  /// be safe to invoke concurrently; if it throws, the first error (in
+  /// caller-then-helper order) propagates after every index finished or
+  /// was abandoned by its helper.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    TaskPriority priority = TaskPriority::kNormal);
 
   /// Process-wide pool sized to the hardware, created on first use.
   /// Intended for latency-insensitive helpers (speculative merge
@@ -76,19 +136,118 @@ class ThreadPool {
 
   /// Index of the calling thread among *this* pool's workers (in
   /// [0, thread_count())), or kNotAWorker for every other thread —
-  /// including workers of a different pool. Backs WorkerLocal.
+  /// including workers of a different pool. Stable across help-running:
+  /// a task help-run inside TaskGroup::wait still executes on the thread
+  /// that waited, and sees that thread's index. Backs WorkerLocal.
   std::size_t worker_index() const;
 
+  /// Snapshot of the cumulative scheduler counters (racy-but-consistent
+  /// relaxed reads; see PoolStats for the determinism contract).
+  PoolStats stats() const;
+
  private:
+  friend class TaskGroup;
+
+  static constexpr std::size_t kPriorities = 3;
+
+  /// A queued unit of work. `tag` identifies the TaskGroup (if any) so a
+  /// waiter can help-run its own group's tasks; untagged tasks are only
+  /// picked up by the worker loop.
+  struct Task {
+    std::function<void()> fn;
+    const void* tag = nullptr;
+  };
+
+  /// Per-worker run queues plus the guarding mutex. Heap-allocated once
+  /// so worker references stay valid and false sharing between workers
+  /// is bounded to deque internals.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> runq[kPriorities];
+  };
+
+  void push_task(Task task, TaskPriority priority);
+  /// Remove the first task with this group tag from a deque. Owners
+  /// search newest-first (the LIFO end they would pop anyway); thieves
+  /// and the injection queue search oldest-first.
+  static bool take_tagged(std::deque<Task>& q, const void* tag,
+                          bool newest_first, Task* out);
+  /// Pop the best runnable task for `self` (kNotAWorker = external
+  /// thread): scans level by level — own deque back, injection front,
+  /// then every other worker's front. Decrements pending_ on success.
+  bool try_pop(std::size_t self, Task* out);
+  /// Like try_pop but only considers tasks with this group tag.
+  bool try_pop_tagged(const void* tag, Task* out);
+  void run_task(Task& task);
+  /// Run one queued task of `tag`'s group on the calling thread,
+  /// recording help-run depth. Returns false when none is queued.
+  bool help_run_one(const void* tag);
   void worker_loop(std::size_t index);
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers wait for jobs
-  std::condition_variable idle_cv_;   // wait_idle waits for drain
-  std::deque<std::function<void()>> queue_;
-  std::size_t running_ = 0;
-  bool stop_ = false;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
+
+  std::mutex inject_mutex_;
+  std::deque<Task> inject_[kPriorities];
+
+  /// Tasks queued anywhere (deques + injection). The sleep protocol:
+  /// pushers bump pending_ then notify under sleep_mutex_; a worker that
+  /// found nothing re-checks pending_ under sleep_mutex_ before waiting,
+  /// so no wakeup is lost.
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> active_{0};  ///< tasks currently executing
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mutex_;
+  std::condition_variable work_cv_;  // workers wait for jobs
+  std::condition_variable idle_cv_;  // wait_idle waits for drain
+
+  // Scheduler counters (relaxed; see stats()).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> local_hits_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> help_runs_{0};
+  std::atomic<std::uint64_t> max_help_depth_{0};
+};
+
+/// A set of tasks awaited together — the pool's unit of *nesting*. A task
+/// that needs its children done calls wait(), which help-runs the group's
+/// queued tasks on the waiting thread instead of blocking a worker: the
+/// thread only sleeps when every remaining child is already running
+/// elsewhere. Exceptions thrown by tasks are captured at the steal
+/// boundary and the first one (by submission order — deterministic, not
+/// by completion race) is rethrown from wait(). The destructor waits but
+/// swallows errors; call wait() explicitly to observe them. Tasks may
+/// submit further tasks into their own group while it is being waited on.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(&pool) {}
+
+  /// Waits for stragglers (errors swallowed — see class comment).
+  ~TaskGroup() { wait_impl(/*rethrow=*/false); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void submit(std::function<void()> fn,
+              TaskPriority priority = TaskPriority::kNormal);
+
+  /// Block until every submitted task completed, help-running queued
+  /// group tasks meanwhile. Rethrows the first captured exception in
+  /// submission order (at most once; later wait() calls return quietly).
+  void wait() { wait_impl(/*rethrow=*/true); }
+
+ private:
+  void wait_impl(bool rethrow);
+
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;   // guarded by mutex_
+  std::size_t next_seq_ = 0;  // guarded by mutex_
+  std::size_t error_seq_ = 0;
+  std::exception_ptr error_;  // first by submission seq, guarded by mutex_
 };
 
 /// Per-worker slots over one pool: each worker of the pool gets its own
@@ -98,10 +257,14 @@ class ThreadPool {
 /// worker's reference stays valid for the WorkerLocal's lifetime and T
 /// need not be copyable or movable. Intended for reusable scratch state
 /// (engine workspaces): a slot is only ever touched by the one thread it
-/// belongs to, so no locking is needed. Threads that are neither pool
-/// workers nor the orchestrator share the spare slot and must not use it
-/// concurrently (there is exactly one such thread in every current
-/// caller).
+/// belongs to, so no locking is needed — which requires slot users to be
+/// non-reentrant per thread: safe for plain tasks (a task does not nest
+/// mid-computation), but a task that help-runs children while *holding* a
+/// slot must not let those children touch the same WorkerLocal (current
+/// consumers only wait at points where the slot is quiescent). Threads
+/// that are neither pool workers nor the orchestrator share the spare
+/// slot and must not use it concurrently (there is exactly one such
+/// thread in every current caller).
 template <typename T>
 class WorkerLocal {
  public:

@@ -126,8 +126,11 @@ TEST(BatchDriver, TreeAndListSchedulingAgreeOnResults) {
     EXPECT_EQ(tree.items[i].delta_max, list.items[i].delta_max);
     EXPECT_EQ(tree.items[i].table_entries, list.items[i].table_entries);
     EXPECT_EQ(tree.items[i].paths, list.items[i].paths);
-    // Items run the serial tree chain; the list reference never resumes.
-    EXPECT_EQ(tree.items[i].tree.subtrees_parallel, 0u);
+    // Items decompose the trie into the fixed batch frontier (inline
+    // here — a serial batch has no pool); the list reference never
+    // splits or resumes.
+    EXPECT_GT(tree.items[i].tree.subtrees_parallel, 1u);
+    EXPECT_EQ(list.items[i].tree.subtrees_parallel, 0u);
     EXPECT_EQ(list.items[i].tree.prefix_resumes, 0u);
     resumes += tree.items[i].tree.prefix_resumes;
   }
@@ -141,7 +144,55 @@ TEST(BatchDriver, JsonCarriesPathTreeCounters) {
   EXPECT_NE(json.find("\"path_scheduling\": \"tree\""), std::string::npos);
   EXPECT_NE(json.find("\"path_tree\""), std::string::npos);
   EXPECT_NE(json.find("\"prefix_resumes\""), std::string::npos);
-  EXPECT_NE(json.find("\"subtrees_parallel\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"subtrees_parallel\""), std::string::npos);
+  // Deterministic JSON must not leak the timing-gated runtime counters.
+  EXPECT_EQ(json.find("\"runtime\""), std::string::npos);
+  EXPECT_EQ(json.find("\"steals\""), std::string::npos);
+}
+
+// The ISSUE-6 acceptance sweep: 40 tree-scheduled seeds, byte-identical
+// JSON at every thread count. The 1-thread run has no pool at all (the
+// serial reference); the others nest item-, subtree- and merge-level work
+// on one runtime — none of which may leak into deterministic output.
+TEST(BatchDriver, FortySeedTreeSweepIsByteIdenticalAt1248Threads) {
+  BatchConfig config;
+  config.count = 40;
+  config.base_seed = 7;
+  config.cpg.process_count = 16;
+  config.cpg.path_count = 6;
+  config.synthesis.path_scheduling = PathScheduling::kTree;
+  config.threads = 1;
+  const std::string reference =
+      batch_result_to_json(run_batch(config), deterministic_json());
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    config.threads = threads;
+    const std::string pooled =
+        batch_result_to_json(run_batch(config), deterministic_json());
+    EXPECT_EQ(reference, pooled) << "thread count " << threads;
+  }
+}
+
+// A pooled tree-mode batch must actually run inner subtree jobs on the
+// runtime: the pool executes more tasks than there are items, and the
+// workers find work in their own deques or by stealing (not only via the
+// external injection queue the batch items arrive through).
+TEST(BatchDriver, PooledBatchRunsInnerSubtreeJobsOnPoolWorkers) {
+  BatchConfig config = small_config();
+  config.cpg.path_count = 8;
+  config.threads = 4;
+  config.synthesis.path_scheduling = PathScheduling::kTree;
+  const BatchResult result = run_batch(config);
+  ASSERT_EQ(result.summary.ok_count, config.count);
+  const PoolStats& pool = result.summary.pool;
+  // Claimed-by-the-walk speculative merge tasks may still sit queued (as
+  // no-ops) when the stats snapshot is taken, so executed can trail
+  // submitted slightly; the pool destructor drains them.
+  EXPECT_LE(pool.executed, pool.submitted);
+  EXPECT_GT(pool.executed, static_cast<std::uint64_t>(config.count));
+  EXPECT_GT(pool.local_hits + pool.steals, 0u);
+  for (const BatchItem& item : result.items) {
+    EXPECT_GT(item.tree.subtrees_parallel, 1u);
+  }
 }
 
 TEST(BatchDriver, SummaryAggregatesOnlySuccessfulItems) {

@@ -539,6 +539,50 @@ TEST(ThreadPool, SharedPoolIsUsableRepeatedly) {
   EXPECT_EQ(ran.load(), 32);
 }
 
+TEST(ThreadPool, TaskGroupWaitsForAllSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 32; ++i) {
+    group.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 32);
+  // wait() is idempotent and the group is reusable afterwards.
+  group.wait();
+  group.submit([&] { ran.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(ran.load(), 33);
+}
+
+TEST(ThreadPool, TaskGroupDestructorWaitsAndSwallowsErrors) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  {
+    TaskGroup group(pool);
+    group.submit([&] {
+      ran.store(true);
+      throw std::runtime_error("swallowed by the destructor");
+    });
+  }  // must neither leak the task nor terminate
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, StatsDeltaSinceIsolatesACallWindow) {
+  ThreadPool pool(2);
+  pool.parallel_for(8, [](std::size_t) {});
+  pool.wait_idle();
+  const PoolStats before = pool.stats();
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&](std::size_t) { ++ran; }, TaskPriority::kHigh);
+  pool.wait_idle();
+  const PoolStats delta = pool.stats().delta_since(before);
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_GT(delta.submitted, 0u);
+  EXPECT_EQ(delta.submitted, delta.executed);
+  EXPECT_LT(delta.submitted, pool.stats().submitted);
+}
+
 // ---------------------------------------------------------- error -----
 
 TEST(Error, AssertMacroThrowsInternalError) {
