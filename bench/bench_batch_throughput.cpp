@@ -25,6 +25,11 @@ int main(int argc, char** argv) try {
   cli.add_flag("max-threads", "0",
                "largest worker count of the sweep (0 = hardware)");
   cli.add_flag("ready", "heap", "engine: heap | linear");
+  cli.add_flag("deadline-ms", "0",
+               "per-item wall-clock deadline in ms (0 = none); timed-out "
+               "items are isolated, not fatal");
+  cli.add_flag("retries", "2",
+               "retry attempts for transient injected faults per item");
   cli.add_flag("json", "", "dump the last batch as JSON to FILE (- = stdout)");
   cli.add_flag("json-out", "",
                "write the throughput sweep (stable schema: threads, wall "
@@ -42,6 +47,8 @@ int main(int argc, char** argv) try {
   config.base_seed = static_cast<std::uint64_t>(cli.get_count("seed", 0));
   config.cpg.process_count = cli.get_count("nodes", 1);
   config.cpg.path_count = cli.get_count("paths", 1);
+  config.deadline_ms = static_cast<double>(cli.get_count("deadline-ms", 0));
+  config.max_retries = cli.get_count("retries", 0);
   // Each graph is this sweep's unit of parallelism: per-item speculative
   // merges would additionally fan out onto the process-wide shared pool,
   // oversubscribing the cores and polluting the parallel-efficiency
@@ -68,7 +75,7 @@ int main(int argc, char** argv) try {
                    " nodes, " + std::to_string(config.cpg.path_count) +
                    " paths, " + ready + " engine)");
   table.header({"threads", "wall ms", "graphs/s", "speedup", "efficiency %",
-                "ok"});
+                "ok", "timeouts", "retries"});
 
   // Sweep powers of two, always ending exactly at max_threads — unless
   // --threads pins a single worker count (determinism checks in CI).
@@ -90,23 +97,29 @@ int main(int argc, char** argv) try {
     double wall_ms = 0.0;
     double graphs_per_second = 0.0;
     double speedup = 0.0;
+    std::size_t timeouts = 0;
+    std::size_t retries = 0;
   };
   std::vector<SweepPoint> points;
   for (std::size_t threads : sweep) {
     config.threads = threads;
     const BatchResult result = run_batch(config);
     const BatchSummary& s = result.summary;
-    if (s.ok_count != s.count) failed = true;
+    // A timed-out item is an expected outcome under --deadline-ms, not a
+    // benchmark failure; anything else failing still fails the run.
+    if (s.ok_count + s.timeouts != s.count) failed = true;
     if (threads == 1) base_wall = s.wall_ms;
     const double speedup = s.wall_ms > 0.0 ? base_wall / s.wall_ms : 0.0;
-    points.push_back(
-        SweepPoint{threads, s.wall_ms, s.graphs_per_second, speedup});
+    points.push_back(SweepPoint{threads, s.wall_ms, s.graphs_per_second,
+                                speedup, s.timeouts, s.retries});
     table.cell(static_cast<std::int64_t>(threads))
         .cell(s.wall_ms, 1)
         .cell(s.graphs_per_second, 1)
         .cell(speedup, 2)
         .cell(100.0 * speedup / static_cast<double>(threads), 1)
-        .cell(static_cast<std::int64_t>(s.ok_count));
+        .cell(static_cast<std::int64_t>(s.ok_count))
+        .cell(static_cast<std::int64_t>(s.timeouts))
+        .cell(static_cast<std::int64_t>(s.retries));
     table.end_row();
     if (!cli.get_string("json").empty()) {
       BatchJsonOptions json_options;
@@ -142,6 +155,8 @@ int main(int argc, char** argv) try {
     w.field("paths", config.cpg.path_count);
     w.field("seed", config.base_seed);
     w.field("ready", ready);
+    w.field("deadline_ms", config.deadline_ms);
+    w.field("retries", config.max_retries);
     w.end_object();
     w.key("sweep").begin_array();
     for (const SweepPoint& p : points) {
@@ -149,6 +164,8 @@ int main(int argc, char** argv) try {
       w.field("threads", p.threads);
       w.field("wall_ms", p.wall_ms);
       w.field("graphs_per_second", p.graphs_per_second);
+      w.field("timeouts", p.timeouts);
+      w.field("retries", p.retries);
       if (base_wall > 0.0) {
         w.field("speedup", p.speedup);
       } else {

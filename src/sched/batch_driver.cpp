@@ -1,8 +1,11 @@
 #include "sched/batch_driver.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/json.hpp"
 #include "support/thread_pool.hpp"
 
@@ -27,7 +30,12 @@ constexpr std::size_t kBatchSubtreeFrontier = 4;
 
 void add_item_stats(BatchSummary& s, const BatchItem& item) {
   ++s.count;
-  if (!item.ok) return;
+  s.retries += item.retries;
+  if (!item.ok) {
+    if (item.code == ErrorCode::kDeadlineExceeded) ++s.timeouts;
+    if (item.code == ErrorCode::kCancelled) ++s.cancelled;
+    return;
+  }
   ++s.ok_count;
   s.delta_m.add(static_cast<double>(item.delta_m));
   s.delta_max.add(static_cast<double>(item.delta_max));
@@ -64,9 +72,21 @@ void write_item(JsonWriter& w, const BatchItem& item,
   w.field("seed", item.seed);
   w.field("ok", item.ok);
   if (!item.ok) {
+    // Typed code first: tooling switches on it; the message is for humans.
+    w.field("error_code", to_string(item.code));
     w.field("error", item.error);
+    w.field("attempts", item.attempts);
     w.end_object();
     return;
+  }
+  // Successful items serialize their status (kOk, or kPathBudgetExceeded
+  // for bounded coverage) but never their attempt/retry counters: a
+  // transiently-faulted item that succeeded on retry must stay
+  // byte-identical to the same item in a never-faulted run.
+  w.field("status", to_string(item.code));
+  if (item.code != ErrorCode::kOk) {
+    w.field("coverage", item.coverage);
+    w.field("total_leaves", item.total_leaves);
   }
   w.field("processes", item.processes);
   w.field("tasks", item.tasks);
@@ -122,58 +142,123 @@ void write_item(JsonWriter& w, const BatchItem& item,
 
 }  // namespace
 
+namespace {
+
+/// Deterministic retry backoff: a pure function of the item seed and the
+/// (0-based) attempt that just failed — never of the clock — so retry
+/// schedules reproduce exactly. Exponential from a small seed-derived
+/// base, capped at 8 ms.
+std::uint64_t retry_backoff_ms(std::uint64_t seed, std::size_t attempt) {
+  const std::uint64_t base = 1 + (seed & 3);
+  const std::uint64_t shifted =
+      attempt < 8 ? base << attempt : std::uint64_t{8};
+  return std::min<std::uint64_t>(shifted, 8);
+}
+
+}  // namespace
+
 BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
                          ThreadPool* runtime) {
   BatchItem item;
   item.index = index;
   item.seed = config.base_seed + index;
   const auto t_begin = clock_type::now();
-  try {
-    Rng rng(item.seed);
-    const Architecture arch = generate_random_architecture(rng, config.arch);
-    const Cpg g = generate_random_cpg(arch, config.cpg, rng);
-
-    // Every item co-synthesizes on its own engine workspace: a workspace
-    // is single-threaded and sharing one across pool workers would both
-    // race and make the per-item reuse counters depend on scheduling
-    // (breaking the byte-identical JSON guarantee). Inner parallelism —
-    // subtree jobs and speculative merge adjustments — rides the shared
-    // batch runtime via schedule_pool, with the trie decomposition pinned
-    // to a fixed frontier so the split (and with it every per-item
-    // counter) cannot depend on pool size. Items do not retain their path
-    // vectors — thousand-graph batches would otherwise carry
-    // O(paths × depth) dead weight apiece.
-    CoSynthesisOptions synthesis = config.synthesis;
-    synthesis.workspace = nullptr;
-    synthesis.schedule_threads = 1;
-    synthesis.schedule_pool = runtime;
-    synthesis.keep_paths = false;
-    if (synthesis.subtree_frontier == 0) {
-      synthesis.subtree_frontier = kBatchSubtreeFrontier;
+  const std::size_t max_attempts = 1 + config.max_retries;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    ++item.attempts;
+    // One budget per attempt: a fresh deadline per retry (a timed-out
+    // attempt would otherwise make every retry trip instantly), the
+    // shared batch cancel token, and the caller's step/path limits.
+    RunBudget budget;
+    budget.token = config.cancel;
+    if (config.deadline_ms > 0.0) {
+      budget.set_deadline_after(config.deadline_ms);
     }
-    const CoSynthesisResult result = schedule_cpg(g, synthesis);
+    if (config.synthesis.budget != nullptr) {
+      budget.max_steps = config.synthesis.budget->max_steps;
+      budget.max_paths = config.synthesis.budget->max_paths;
+    }
+    const bool own_budget = config.cancel != nullptr ||
+                            config.deadline_ms > 0.0 ||
+                            config.synthesis.budget != nullptr;
+    try {
+      // Fail fast on a cancelled batch: not-yet-started items report
+      // kCancelled without generating their graphs.
+      if (config.cancel != nullptr && config.cancel->cancelled()) {
+        throw CancelledError("batch cancelled");
+      }
+      CPS_FAULT_POINT("batch.item");
+      Rng rng(item.seed);
+      const Architecture arch = generate_random_architecture(rng, config.arch);
+      const Cpg g = generate_random_cpg(arch, config.cpg, rng);
 
-    item.ok = true;
-    item.processes = g.process_count();
-    item.tasks = result.flat->task_count();
-    item.conditions = g.conditions().size();
-    item.paths = result.path_count;
-    item.table_entries = result.table.entry_count();
-    item.delta_m = result.delays.delta_m;
-    item.delta_max = result.delays.delta_max;
-    item.increase_percent = result.delays.increase_percent;
-    item.merge = result.merge_stats;
-    item.cover_cache = result.cover_cache;
-    item.workspace = result.workspace;
-    item.tree = result.tree;
-    item.expand_ms = result.timings.expand_ms;
-    item.enumerate_ms = result.timings.enumerate_ms;
-    item.schedule_ms = result.timings.schedule_ms;
-    item.merge_ms = result.timings.merge_ms;
-    item.validate_ms = result.timings.validate_ms;
-  } catch (const std::exception& e) {
-    item.ok = false;
-    item.error = e.what();
+      // Every item co-synthesizes on its own engine workspace: a workspace
+      // is single-threaded and sharing one across pool workers would both
+      // race and make the per-item reuse counters depend on scheduling
+      // (breaking the byte-identical JSON guarantee). Inner parallelism —
+      // subtree jobs and speculative merge adjustments — rides the shared
+      // batch runtime via schedule_pool, with the trie decomposition pinned
+      // to a fixed frontier so the split (and with it every per-item
+      // counter) cannot depend on pool size. Items do not retain their path
+      // vectors — thousand-graph batches would otherwise carry
+      // O(paths × depth) dead weight apiece.
+      CoSynthesisOptions synthesis = config.synthesis;
+      synthesis.workspace = nullptr;
+      synthesis.schedule_threads = 1;
+      synthesis.schedule_pool = runtime;
+      synthesis.keep_paths = false;
+      synthesis.budget = own_budget ? &budget : nullptr;
+      if (synthesis.subtree_frontier == 0) {
+        synthesis.subtree_frontier = kBatchSubtreeFrontier;
+      }
+      const CoSynthesisResult result = schedule_cpg(g, synthesis);
+
+      item.ok = true;
+      item.code = result.status;  // kOk, or kPathBudgetExceeded (bounded)
+      item.error.clear();
+      item.coverage = result.coverage;
+      item.total_leaves = result.total_leaves;
+      item.processes = g.process_count();
+      item.tasks = result.flat->task_count();
+      item.conditions = g.conditions().size();
+      item.paths = result.path_count;
+      item.table_entries = result.table.entry_count();
+      item.delta_m = result.delays.delta_m;
+      item.delta_max = result.delays.delta_max;
+      item.increase_percent = result.delays.increase_percent;
+      item.merge = result.merge_stats;
+      item.cover_cache = result.cover_cache;
+      item.workspace = result.workspace;
+      item.tree = result.tree;
+      item.expand_ms = result.timings.expand_ms;
+      item.enumerate_ms = result.timings.enumerate_ms;
+      item.schedule_ms = result.timings.schedule_ms;
+      item.merge_ms = result.timings.merge_ms;
+      item.validate_ms = result.timings.validate_ms;
+      break;
+    } catch (const InjectedFault& e) {
+      item.ok = false;
+      item.code = ErrorCode::kInjectedFault;
+      item.error = e.what();
+      if (e.transient() && attempt + 1 < max_attempts) {
+        const std::uint64_t backoff = retry_backoff_ms(item.seed, attempt);
+        item.backoff_ms += backoff;
+        ++item.retries;
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        continue;
+      }
+      break;
+    } catch (const Error& e) {
+      item.ok = false;
+      item.code = e.code();
+      item.error = e.what();
+      break;
+    } catch (const std::exception& e) {
+      item.ok = false;
+      item.code = ErrorCode::kInternal;
+      item.error = e.what();
+      break;
+    }
   }
   item.total_ms = ms_between(t_begin, clock_type::now());
   return item;
@@ -211,6 +296,10 @@ BatchResult run_batch(const BatchConfig& config) {
             result.items[i] = run_batch_item(config, i, &pool);
           },
           TaskPriority::kLow);
+      // Drain before snapshotting: parallel_for joined the items, but
+      // only an idle pool guarantees submitted == executed (+ cancelled)
+      // with pending == 0 — the balanced snapshot the JSON reports.
+      pool.wait_idle();
       result.summary.pool = pool.stats();
     }
   }
@@ -252,6 +341,9 @@ std::string batch_result_to_json(const BatchResult& result,
   w.key("summary").begin_object();
   w.field("count", s.count);
   w.field("ok", s.ok_count);
+  w.field("timeouts", s.timeouts);
+  w.field("cancelled", s.cancelled);
+  w.field("retries", s.retries);
   write_stat(w, "delta_m", s.delta_m);
   write_stat(w, "delta_max", s.delta_max);
   write_stat(w, "increase_percent", s.increase_percent);
@@ -280,6 +372,9 @@ std::string batch_result_to_json(const BatchResult& result,
     w.field("injected", s.pool.injected);
     w.field("help_runs", s.pool.help_runs);
     w.field("max_help_depth", s.pool.max_help_depth);
+    w.field("pending", s.pool.pending);
+    w.field("cancelled_tasks", s.pool.cancelled_tasks);
+    w.field("dropped_errors", s.pool.dropped_errors);
     w.end_object();
   }
   w.end_object();

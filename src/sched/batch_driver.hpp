@@ -34,6 +34,20 @@ struct BatchConfig {
   std::uint64_t base_seed = 1;
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   std::size_t threads = 0;
+  /// Per-item wall-clock deadline in milliseconds; 0 = none. Each item
+  /// (each retry attempt, in fact) gets a fresh deadline; a trip isolates
+  /// that item — it reports kDeadlineExceeded and the batch continues.
+  double deadline_ms = 0.0;
+  /// Retry attempts for *transient* injected faults (deterministic
+  /// seeded backoff, capped at 8 ms per step). Non-transient failures
+  /// never retry. Total attempts per item = 1 + max_retries.
+  std::size_t max_retries = 2;
+  /// Optional batch-wide cancellation (non-owning; must outlive the
+  /// call). Cancelling stops in-flight items cooperatively and fails
+  /// not-yet-started items fast with kCancelled; run_batch still returns
+  /// a complete BatchResult. Overrides (together with deadline_ms) any
+  /// synthesis.budget the caller set.
+  const CancelToken* cancel = nullptr;
   RandomArchParams arch;
   RandomCpgParams cpg;
   CoSynthesisOptions synthesis;
@@ -45,7 +59,22 @@ struct BatchItem {
   std::size_t index = 0;
   std::uint64_t seed = 0;
   bool ok = false;
+  /// kOk for complete results; kPathBudgetExceeded for successful
+  /// bounded-coverage results (ok stays true); otherwise the typed
+  /// failure code (kDeadlineExceeded, kCancelled, kInjectedFault,
+  /// kValidationFailed, ... — kInternal for untyped exceptions).
+  ErrorCode code = ErrorCode::kOk;
   std::string error;  ///< non-empty iff !ok
+  /// Attempts actually run (1 + retries taken; 0 only for count == 0).
+  std::size_t attempts = 0;
+  /// Transient-fault retries taken (attempts - 1 when retrying happened).
+  std::size_t retries = 0;
+  /// Total deterministic backoff slept between retry attempts.
+  std::uint64_t backoff_ms = 0;
+  /// Covered-leaves fraction (< 1.0 only for bounded-coverage results).
+  double coverage = 1.0;
+  /// Total leaf count behind `coverage` (see CoSynthesisResult).
+  std::size_t total_leaves = 0;
 
   std::size_t processes = 0;
   std::size_t tasks = 0;
@@ -83,6 +112,13 @@ struct BatchItem {
 struct BatchSummary {
   std::size_t count = 0;
   std::size_t ok_count = 0;
+  /// Items that failed with kDeadlineExceeded.
+  std::size_t timeouts = 0;
+  /// Items that failed with kCancelled.
+  std::size_t cancelled = 0;
+  /// Transient-fault retry attempts summed over all items (including
+  /// items that eventually succeeded).
+  std::size_t retries = 0;
   /// Whole-batch wall clock (ms) and resulting throughput.
   double wall_ms = 0.0;
   double graphs_per_second = 0.0;

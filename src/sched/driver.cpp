@@ -1,10 +1,12 @@
 #include "sched/driver.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <optional>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 
@@ -27,8 +29,23 @@ double ms_between(clock_type::time_point a, clock_type::time_point b) {
 }
 
 [[noreturn]] void throw_path_budget(std::size_t max_paths) {
-  throw InvalidArgument("graph exceeds the alternative-path budget of " +
-                        std::to_string(max_paths) + " paths");
+  // InvalidArgument-compatible for historical callers, but carries the
+  // typed kPathBudgetExceeded code for the batch driver's JSON.
+  throw BudgetExceededError(
+      ErrorCode::kPathBudgetExceeded,
+      "graph exceeds the alternative-path budget of " +
+          std::to_string(max_paths) + " paths");
+}
+
+/// Effective alternative-path budget: options.max_paths folded with
+/// RunBudget::max_paths (smaller nonzero value wins; 0 = unlimited).
+std::size_t effective_max_paths(const CoSynthesisOptions& options) {
+  std::size_t max = options.max_paths;
+  if (options.budget != nullptr && options.budget->max_paths != 0 &&
+      (max == 0 || options.budget->max_paths < max)) {
+    max = options.budget->max_paths;
+  }
+  return max;
 }
 
 /// Everything the per-path scheduling stage produces, whichever walk ran.
@@ -40,7 +57,22 @@ struct ScheduleStage {
   CoverCacheStats cover_cache;
   double enumerate_ms = 0.0;
   double schedule_ms = 0.0;
+  /// The path budget tripped under BudgetAction::kBound: `paths` holds
+  /// the first max_paths leaves of the enumeration order only.
+  bool truncated = false;
 };
+
+/// Engine results from per-path scheduling: interrupts (budget trips
+/// inside the engine) become typed exceptions; anything else infeasible
+/// on a validated CPG is a library bug.
+void check_path_result(const EngineResult& res) {
+  if (res.feasible) return;
+  if (is_interrupt(res.code)) {
+    throw_interrupt(res.code, "per-path scheduling interrupted: " +
+                                  res.reason);
+  }
+  CPS_ASSERT(false, "validated CPG path must be schedulable: " + res.reason);
+}
 
 /// Serial walk: the retained path-list reference (one from-scratch engine
 /// run per path) or the serial tree chain (every leaf resumes from the
@@ -56,6 +88,10 @@ ScheduleStage run_serial_stage(const Cpg& g, const FlatGraph& flat,
   EngineWorkspace& workspace =
       options.workspace != nullptr ? *options.workspace : owned_workspace;
   const WorkspaceStats workspace_before = workspace.stats;
+  const std::size_t max_paths = effective_max_paths(options);
+  // Stage-level budget poll between paths (belt to the engine's per-step
+  // polling: enumeration itself is engine-free work).
+  BudgetPoll poll(options.budget);
   // Demand-driven recording (eager off): the engine starts per-step
   // checkpointing only once a sibling leaf demonstrates that resuming is
   // plausible, so tries whose sibling priorities always diverge at t=0
@@ -63,13 +99,26 @@ ScheduleStage run_serial_stage(const Cpg& g, const FlatGraph& flat,
   EngineHistory chain;
   PathEnumerator enumerator(g);
   while (true) {
+    {
+      const ErrorCode trip = poll.poll();
+      if (trip != ErrorCode::kOk) {
+        throw_interrupt(trip, std::string("per-path scheduling interrupted: ") +
+                                  to_string(trip));
+      }
+    }
     const auto e0 = clock_type::now();
     auto path = enumerator.next();
     out.enumerate_ms += ms_between(e0, clock_type::now());
     if (!path) break;
-    if (options.max_paths != 0 &&
-        enumerator.produced() > options.max_paths) {
-      throw_path_budget(options.max_paths);
+    if (max_paths != 0 && enumerator.produced() > max_paths) {
+      if (options.on_budget == BudgetAction::kThrow) {
+        throw_path_budget(max_paths);
+      }
+      // Bounded coverage: drop the over-budget path and stop — the kept
+      // prefix is a pure function of the enumeration order, so bounded
+      // results stay byte-identical at every thread count.
+      out.truncated = true;
+      break;
     }
     out.paths.push_back(std::move(*path));
     const auto s0 = clock_type::now();
@@ -80,9 +129,9 @@ ScheduleStage run_serial_stage(const Cpg& g, const FlatGraph& flat,
       req.resume = EngineResume::kCheckpoint;
       req.history = &chain;
     }
+    req.budget = options.budget;
     EngineResult res = run_list_scheduler(flat, req, workspace);
-    CPS_ASSERT(res.feasible,
-               "validated CPG path must be schedulable: " + res.reason);
+    check_path_result(res);
     if (res.resumed) {
       ++out.tree.prefix_resumes;
       out.tree.resumed_steps += res.resumed_steps;
@@ -114,10 +163,16 @@ std::optional<ScheduleStage> run_decomposed_stage(
   // cannot share the serial walk's streaming counter without racing).
   // Deliberate tradeoff: an over-budget graph trips here before any
   // engine run is dispatched — cheaper than the list walk, which
-  // schedules every leaf up to the budget first.
-  if (options.max_paths != 0 &&
-      !count_paths(g, options.max_paths).has_value()) {
-    throw_path_budget(options.max_paths);
+  // schedules every leaf up to the budget first. Under
+  // BudgetAction::kBound an over-budget graph falls back to the serial
+  // walk instead, whose streaming counter truncates deterministically —
+  // so bounded results are identical at every thread count.
+  const std::size_t max_paths = effective_max_paths(options);
+  if (max_paths != 0 && !count_paths(g, max_paths).has_value()) {
+    if (options.on_budget == BudgetAction::kThrow) {
+      throw_path_budget(max_paths);
+    }
+    return std::nullopt;
   }
   const PathTree tree(g);
   const std::vector<PathTree::Node> jobs = tree.frontier(target);
@@ -138,25 +193,33 @@ std::optional<ScheduleStage> run_decomposed_stage(
   const auto run_job = [&](std::size_t i) {
     JobResult& r = results[i];
     try {
+      CPS_FAULT_POINT("trie.subtree");
       // Private workspace per job (not a per-worker slot): the
       // warm-buffer reuse counters become part of the job, so the
       // aggregated WorkspaceStats cannot depend on work-stealing luck.
       EngineWorkspace ws;
       CoverCache cover_cache;  // per job: keeps the counters deterministic
       EngineHistory chain;     // demand-driven recording, like the serial walk
+      BudgetPoll poll(options.budget);  // per-leaf poll, clock amortized
       PathEnumerator en = tree.leaves(jobs[i].context);
       while (auto path = en.next()) {
+        {
+          const ErrorCode trip = poll.poll();
+          if (trip != ErrorCode::kOk) {
+            throw_interrupt(
+                trip, std::string("subtree scheduling interrupted: ") +
+                          to_string(trip));
+          }
+        }
         r.paths.push_back(std::move(*path));
         EngineRequest req = make_path_request(
             flat, r.paths.back(), options.path_priority, nullptr,
             options.merge.ready, &cover_cache);
         req.resume = EngineResume::kCheckpoint;
         req.history = &chain;
+        req.budget = options.budget;
         EngineResult res = run_list_scheduler(flat, req, ws);
-        if (!res.feasible) {
-          throw InternalError("validated CPG path must be schedulable: " +
-                              res.reason);
-        }
+        check_path_result(res);
         if (res.resumed) {
           ++r.tree.prefix_resumes;
           r.tree.resumed_steps += res.resumed_steps;
@@ -177,9 +240,12 @@ std::optional<ScheduleStage> run_decomposed_stage(
   out.schedule_ms = ms_between(s0, clock_type::now());
 
   // Commit in frontier (= depth-first) order; the first failure in that
-  // order is the one a serial walk would have hit.
+  // order is the one a serial walk would have hit — cancellation racing
+  // the commit loop resolves the same way: parallel_for already joined
+  // every job, so the DFS-first error wins deterministically.
   out.tree.subtrees_parallel = jobs.size();
   for (JobResult& r : results) {
+    CPS_FAULT_POINT("trie.commit");
     if (r.error) std::rethrow_exception(r.error);
     for (auto& p : r.paths) out.paths.push_back(std::move(p));
     for (auto& s : r.schedules) out.schedules.push_back(std::move(s));
@@ -194,6 +260,15 @@ std::optional<ScheduleStage> run_decomposed_stage(
 
 CoSynthesisResult schedule_cpg(const Cpg& g,
                                const CoSynthesisOptions& options) {
+  if (options.budget != nullptr) {
+    // Check once up-front (token AND clock): an already-cancelled or
+    // already-expired budget must not start expanding the graph at all.
+    const ErrorCode trip = options.budget->check_now();
+    if (trip != ErrorCode::kOk) {
+      throw_interrupt(trip, std::string("co-synthesis interrupted: ") +
+                                to_string(trip));
+    }
+  }
   const auto t0 = clock_type::now();
   auto flat = std::make_unique<FlatGraph>(FlatGraph::expand(g));
   const auto t1 = clock_type::now();
@@ -263,12 +338,17 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
       merge_schedules(*flat, stage.paths, stage.schedules, merge_opts);
   const auto t4 = clock_type::now();
   if (!merged.ok) {
+    if (is_interrupt(merged.code)) {
+      throw_interrupt(merged.code,
+                      "schedule merging interrupted: " + merged.error);
+    }
     throw ValidationError("schedule merging failed: " + merged.error);
   }
 
   if (options.validate) {
     const TableValidation validation =
-        validate_table(*flat, merged.table, stage.paths);
+        validate_table(*flat, merged.table, stage.paths,
+                       /*complete_coverage=*/!stage.truncated);
     if (!validation.ok) {
       throw ValidationError("generated schedule table is incoherent:\n  " +
                             join(validation.violations, "\n  "));
@@ -287,6 +367,26 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
   timings.validate_ms = ms_between(t4, t5);
 
   const std::size_t path_count = stage.paths.size();
+
+  // Coverage accounting. Complete results cover every leaf by
+  // construction; a bounded-coverage result (kBound trip) reports the
+  // covered fraction, probing the true leaf count with a capped
+  // enumeration so a super-exponential graph cannot stall the report.
+  ErrorCode status = ErrorCode::kOk;
+  std::size_t total_leaves = path_count;
+  double coverage = 1.0;
+  if (stage.truncated) {
+    status = ErrorCode::kPathBudgetExceeded;
+    const std::size_t probe_cap = std::max<std::size_t>(
+        effective_max_paths(options) * 64, std::size_t{65536});
+    const auto probed = count_paths(g, probe_cap);
+    total_leaves = probed.has_value() ? *probed : 0;  // 0 = unknown
+    coverage = total_leaves != 0
+                   ? static_cast<double>(path_count) /
+                         static_cast<double>(total_leaves)
+                   : 0.0;
+  }
+
   if (!options.keep_paths) {
     // Shrink, not just clear: the point is dropping the O(paths × depth)
     // payload, and the result outlives this call.
@@ -311,7 +411,10 @@ CoSynthesisResult schedule_cpg(const Cpg& g,
                            stage.tree,
                            pool_delta,
                            std::move(delays),
-                           timings};
+                           timings,
+                           status,
+                           total_leaves,
+                           coverage};
 }
 
 }  // namespace cps

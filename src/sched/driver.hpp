@@ -8,9 +8,25 @@
 #include "sched/delay.hpp"
 #include "sched/merge.hpp"
 #include "sched/table_validate.hpp"
+#include "support/cancel.hpp"
 #include "support/thread_pool.hpp"
 
 namespace cps {
+
+/// What a max_paths / RunBudget::max_paths trip does.
+///
+/// kThrow (default, historical behavior): the flow throws
+/// BudgetExceededError(kPathBudgetExceeded) as soon as the budget is
+/// crossed, before an exponential path set is materialized.
+///
+/// kBound (graceful degradation): the flow schedules, merges and
+/// validates the first max_paths alternative paths — a deterministic
+/// prefix of the enumeration order — and returns a *bounded-coverage*
+/// result: CoSynthesisResult::status is kPathBudgetExceeded and
+/// `coverage` carries the covered-leaves fraction. The table is coherent
+/// for every covered path; uncovered label combinations simply have no
+/// entries.
+enum class BudgetAction : std::uint8_t { kThrow, kBound };
 
 /// How the per-path scheduling stage walks the alternative-path set.
 ///
@@ -66,10 +82,23 @@ struct CoSynthesisOptions {
   bool validate = true;
   /// Alternative-path budget. Paths are enumerated *streamingly* and
   /// scheduled as they appear; when a graph has more than this many
-  /// paths the flow throws InvalidArgument as soon as the budget is
-  /// crossed, instead of first materializing (and scheduling) an
-  /// exponential path set. 0 = unlimited.
+  /// paths the budget trips as soon as it is crossed, instead of first
+  /// materializing (and scheduling) an exponential path set. What a trip
+  /// does is `on_budget`'s call (throw, or bound coverage). 0 =
+  /// unlimited. RunBudget::max_paths (when `budget` is set) folds in:
+  /// the smaller nonzero value wins.
   std::size_t max_paths = 0;
+  /// Behavior on a path-budget trip (see BudgetAction).
+  BudgetAction on_budget = BudgetAction::kThrow;
+  /// Optional cooperative cancellation/deadline/step/path budget
+  /// (non-owning; must outlive the call). Polled at bounded intervals by
+  /// every layer: the engine main loop per step, the merge walk per
+  /// decision-tree node, trie subtree jobs per leaf, and the driver
+  /// between paths. A trip throws the matching typed error
+  /// (CancelledError, DeadlineExceededError, BudgetExceededError);
+  /// workspaces and histories stay reusable and a subsequent clean run
+  /// is byte-identical to a never-interrupted one.
+  RunBudget* budget = nullptr;
   /// Optional externally owned engine workspace for the per-path
   /// scheduling loop: callers that co-synthesize repeatedly on one thread
   /// (benches, custom harnesses) can pay the buffer allocations once
@@ -169,6 +198,19 @@ struct CoSynthesisResult {
   PoolStats pool;
   DelayReport delays;
   StageTimings timings;
+  /// kOk for a complete result; kPathBudgetExceeded for a successful
+  /// *bounded-coverage* result (BudgetAction::kBound — the table covers
+  /// only the first max_paths leaves). Failures throw, so no other code
+  /// appears here.
+  ErrorCode status = ErrorCode::kOk;
+  /// Total alternative-path (leaf) count of the graph. Equals path_count
+  /// for complete results. For bounded-coverage results it is probed
+  /// with a capped enumeration; 0 = unknown (the probe cap was also
+  /// exceeded).
+  std::size_t total_leaves = 0;
+  /// path_count / total_leaves: the covered-leaves fraction. 1.0 for
+  /// complete results, 0.0 when total_leaves is unknown.
+  double coverage = 1.0;
 
   const FlatGraph& flat_graph() const { return *flat; }
 };

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace cps {
 
@@ -137,6 +138,11 @@ class Engine {
   /// completions and the checkpoint-restore replay.
   void learn(PeId res, CondId c, Time when);
   EngineResult infeasible(TaskId t, const std::string& reason);
+  /// Result of a budget trip (cancel/deadline/step budget): infeasible
+  /// with the interrupt code, a partially recorded history invalidated
+  /// (a truncated run must never pose as a recorded outcome). The
+  /// workspace needs no cleanup — every run re-initializes it.
+  EngineResult interrupted(ErrorCode code);
 
   const FlatGraph& fg_;
   const EngineRequest& req_;  ///< validated, then snapshotted into ws_
@@ -881,8 +887,18 @@ void Engine::complete_task(TaskId t, Time now) {
 EngineResult Engine::infeasible(TaskId t, const std::string& reason) {
   EngineResult out;
   out.feasible = false;
+  out.code = ErrorCode::kUnschedulable;
   out.offending_lock = t;
   out.reason = reason;
+  return out;
+}
+
+EngineResult Engine::interrupted(ErrorCode code) {
+  if (recording_) req_.history->invalidate();
+  EngineResult out;
+  out.feasible = false;
+  out.code = code;
+  out.reason = std::string("engine run interrupted: ") + to_string(code);
   return out;
 }
 
@@ -892,6 +908,7 @@ EngineResult Engine::run() {
   CPS_REQUIRE(req_.priority.size() == n, "priority vector size mismatch");
   CPS_REQUIRE(req_.locks.empty() || req_.locks.size() == n,
               "locks vector size mismatch");
+  CPS_FAULT_POINT("engine.run");
 
   // Bind the workspace to this graph: the private cover cache memoizes
   // guard addresses of exactly one FlatGraph.
@@ -933,6 +950,7 @@ EngineResult Engine::run() {
       ++ws_.stats.full_reuses;
       EngineResult out;
       out.feasible = h.feasible;
+      out.code = h.feasible ? ErrorCode::kOk : ErrorCode::kUnschedulable;
       if (h.feasible) out.schedule = h.final_schedule;
       out.offending_lock = h.offending_lock;
       out.reason = h.reason;
@@ -1052,7 +1070,14 @@ EngineResult Engine::run() {
     record_ckpts_ = h.eager || h.record;
   }
 
+  // Bounded-interval budget polling: the cancel token every step, the
+  // wall clock every BudgetPoll::kStride steps (see support/cancel.hpp).
+  BudgetPoll budget_poll(req_.budget);
   while (remaining_ > 0) {
+    {
+      const ErrorCode trip = budget_poll.poll();
+      if (trip != ErrorCode::kOk) return interrupted(trip);
+    }
     // Start everything that can start at `now` (repeat until fixpoint:
     // zero-duration completions can enable further starts at this time).
     // A resumed run's first step was already committed by the recorded
@@ -1085,7 +1110,12 @@ EngineResult Engine::run() {
     }
 
     if (!resumed_step_pending) {
+      CPS_FAULT_POINT("engine.step");
       ++steps;
+      if (req_.budget != nullptr &&
+          req_.budget->charge_steps(1) != ErrorCode::kOk) {
+        return interrupted(ErrorCode::kStepBudgetExceeded);
+      }
       if (record_ckpts_) maybe_record(now, steps);
     }
     resumed_step_pending = false;
@@ -1104,6 +1134,7 @@ EngineResult Engine::run() {
     if (next == kInf || next <= now) {
       EngineResult out;
       out.feasible = false;
+      out.code = ErrorCode::kUnschedulable;
       out.reason = "scheduling deadlock (no startable task and no pending "
                    "event)";
       out.resumed = resumed;

@@ -31,6 +31,7 @@
 #include "sched/engine_workspace.hpp"
 #include "sched/priority.hpp"
 #include "sched/schedule.hpp"
+#include "support/cancel.hpp"
 
 namespace cps {
 
@@ -59,10 +60,25 @@ struct EngineRequest {
   /// the same history differs from the recorded one at most in `locks`
   /// (the engine verifies and falls back to from-scratch otherwise).
   EngineHistory* history = nullptr;
+  /// Optional cooperative cancellation/deadline/step budget (non-owning;
+  /// must outlive the run). The main loop polls it at bounded intervals
+  /// — the cancel token every step, the wall clock every
+  /// BudgetPoll::kStride steps — and charges each committed step against
+  /// the budget. A trip returns an infeasible EngineResult carrying the
+  /// interrupt code; any attached history is invalidated (not finalized),
+  /// so the workspace and history stay reusable and the next clean run
+  /// is byte-identical to a never-interrupted one.
+  RunBudget* budget = nullptr;
 };
 
 struct EngineResult {
   bool feasible = false;
+  /// kOk when feasible; kUnschedulable for genuine scheduling
+  /// infeasibility (locked reservation, deadlock); an interrupt code
+  /// (kCancelled/kDeadlineExceeded/kStepBudgetExceeded) when the run
+  /// was cut short by its RunBudget. Interrupted results must not be
+  /// treated as lock infeasibility (see is_interrupt).
+  ErrorCode code = ErrorCode::kOk;
   PathSchedule schedule;
   /// When infeasible because a locked task could not start at its fixed
   /// time, the offending task (lets the merge relax that lock).

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/thread_pool.hpp"
 
 namespace cps {
@@ -35,9 +36,11 @@ namespace {
 constexpr Time kInf = std::numeric_limits<Time>::max();
 
 /// Raised by the walk when an adjustment is unschedulable even after
-/// relaxing every relaxable lock; caught by Merger::run and reported
-/// through MergeResult::ok/error (never escapes merge_schedules).
+/// relaxing every relaxable lock, or when the walk's RunBudget tripped;
+/// caught by Merger::run and reported through MergeResult::ok/code/error
+/// (never escapes merge_schedules).
 struct MergeInfeasible {
+  ErrorCode code = ErrorCode::kUnschedulable;
   std::string reason;
 };
 
@@ -50,7 +53,8 @@ struct MergeInfeasible {
 /// carries the checkpoint stream for incremental resume.
 struct AdjustEngineRun {
   bool ok = true;
-  std::string error;  ///< non-empty iff !ok
+  ErrorCode code = ErrorCode::kOk;  ///< kUnschedulable or interrupt iff !ok
+  std::string error;                ///< non-empty iff !ok
   PathSchedule schedule;
   std::size_t relaxed = 0;
 };
@@ -62,6 +66,15 @@ AdjustEngineRun run_adjust_engine(const FlatGraph& fg, EngineRequest& base,
   while (true) {
     result = run_list_scheduler(fg, base, ws);
     if (result.feasible) break;
+    // An interrupted run (cancel/deadline/step budget) is NOT lock
+    // infeasibility: relaxing locks cannot un-cancel it, so bail out
+    // before the relaxation loop spins the engine again.
+    if (is_interrupt(result.code)) {
+      out.ok = false;
+      out.code = result.code;
+      out.error = result.reason;
+      return out;
+    }
     if (result.offending_lock && !base.locks.empty() &&
         base.locks[*result.offending_lock]) {
       if (trace) {
@@ -77,6 +90,7 @@ AdjustEngineRun run_adjust_engine(const FlatGraph& fg, EngineRequest& base,
     // never happens on validated CPGs; report it instead of aborting so
     // Release callers get a recoverable MergeResult error.
     out.ok = false;
+    out.code = ErrorCode::kUnschedulable;
     out.error = "adjustment unschedulable: " + result.reason;
     return out;
   }
@@ -120,6 +134,9 @@ struct SpecJob {
   /// Run the engine (claim must already be won by the caller).
   void run() {
     try {
+      // Fault site on a pool worker: exercises an exception crossing the
+      // claim/steal boundary (captured here, rethrown at commit).
+      CPS_FAULT_POINT("merge.spec");
       result = run_adjust_engine(*fg, base, /*trace=*/false,
                                  workspaces->local());
     } catch (...) {
@@ -148,7 +165,8 @@ class Merger {
         scheds_(schedules),
         opts_(options),
         rng_(options.random_seed),
-        table_(fg) {}
+        table_(fg),
+        poll_(options.budget) {}
 
   ~Merger() { drain_outstanding(); }
 
@@ -235,6 +253,10 @@ class Merger {
   std::vector<bool> active_cached_;
   /// Packed per-path label masks for the reachability walks.
   PathLabelMasks label_masks_;
+  /// Bounded-interval budget poller of the walking thread (one poll per
+  /// decision-tree node; speculative workers poll inside their engine
+  /// runs instead).
+  BudgetPoll poll_;
 
   /// Speculation state (kSpeculative only).
   bool speculative_ = false;
@@ -357,6 +379,9 @@ void Merger::fill_base_request(std::size_t cur, EngineRequest& base) {
   base.cover_cache = nullptr;
   base.resume = EngineResume::kFromScratch;
   base.history = nullptr;
+  // Every adjustment engine run — walking thread or speculative worker —
+  // polls the merge's budget, so cancellation reaches nested runs fast.
+  base.budget = opts_.budget;
 }
 
 EngineRequest Merger::base_request(std::size_t cur) {
@@ -467,6 +492,7 @@ PathSchedule Merger::resolve_conflicts(EngineRequest& base, std::size_t cur,
 
 PathSchedule Merger::adjust(const Cube& ancestors, const Cube& decided,
                             std::size_t cur) {
+  CPS_FAULT_POINT("merge.adjust");
   ++stats_.adjustments;
   if (opts_.trace) {
     std::cerr << "[merge] adjust path " << cur << " label "
@@ -484,7 +510,7 @@ PathSchedule Merger::adjust(const Cube& ancestors, const Cube& decided,
   base.history = &histories_[cur];
 
   AdjustEngineRun run = run_adjust_engine(fg_, base, opts_.trace, walk_ws_);
-  if (!run.ok) throw MergeInfeasible{run.error};
+  if (!run.ok) throw MergeInfeasible{run.code, run.error};
   stats_.relaxed_locks += run.relaxed;
   return resolve_conflicts(base, cur, std::move(run.schedule));
 }
@@ -523,6 +549,7 @@ std::shared_ptr<SpecJob> Merger::spawn(const Cube& ancestors,
 
 PathSchedule Merger::commit(SpecJob& job, const Cube& ancestors,
                             const Cube& decided, std::size_t cur) {
+  CPS_FAULT_POINT("merge.commit");
   ++stats_.adjustments;
   std::size_t lock_count = 0;
   std::vector<std::optional<TaskLock>> fresh =
@@ -554,7 +581,7 @@ PathSchedule Merger::commit(SpecJob& job, const Cube& ancestors,
     // (eager recording is only free when a worker pays for it).
     job.history.eager = false;
     AdjustEngineRun run = run_adjust_engine(fg_, job.base, false, walk_ws_);
-    if (!run.ok) throw MergeInfeasible{run.error};
+    if (!run.ok) throw MergeInfeasible{run.code, run.error};
     stats_.relaxed_locks += run.relaxed;
     return resolve_conflicts(job.base, cur, std::move(run.schedule));
   }
@@ -566,19 +593,35 @@ PathSchedule Merger::commit(SpecJob& job, const Cube& ancestors,
     // The sibling subtree fixed no additional rule-3 locks: the
     // speculated engine run is exactly what the serial walk would have
     // computed (locks in, relaxations and schedule out).
-    if (!job.result.ok) throw MergeInfeasible{job.result.error};
+    if (!job.result.ok) {
+      throw MergeInfeasible{job.result.code, job.result.error};
+    }
     stats_.relaxed_locks += job.result.relaxed;
     return resolve_conflicts(job.base, cur, std::move(job.result.schedule));
   }
   job.base.locks = std::move(fresh);
   AdjustEngineRun run = run_adjust_engine(fg_, job.base, false, walk_ws_);
-  if (!run.ok) throw MergeInfeasible{run.error};
+  if (!run.ok) throw MergeInfeasible{run.code, run.error};
   stats_.relaxed_locks += run.relaxed;
   return resolve_conflicts(job.base, cur, std::move(run.schedule));
 }
 
 void Merger::dfs(const Cube& decided, std::size_t cur,
                  const PathSchedule& sched, std::vector<bool> done) {
+  // One budget poll per decision-tree node: cheap (token-only most
+  // polls), and bounded — a node does at most one adjustment engine run,
+  // which polls internally. A trip here unwinds through the walk;
+  // ~Merger's drain_outstanding() then claims or waits out every
+  // speculative job (their engine runs share the budget, so they drain
+  // fast instead of finishing queued work).
+  {
+    const ErrorCode trip = poll_.poll();
+    if (trip != ErrorCode::kOk) {
+      throw MergeInfeasible{
+          trip, std::string("schedule merging interrupted: ") +
+                    to_string(trip)};
+    }
+  }
   const Cube& label = paths_[cur].label;
 
   // Next undecided condition to be computed according to the current
@@ -673,12 +716,14 @@ MergeResult Merger::run() {
   const std::size_t cur = select(all);
 
   bool ok = true;
+  ErrorCode code = ErrorCode::kOk;
   std::string error;
   try {
     dfs(Cube::top(), cur, scheds_[cur],
         std::vector<bool>(fg_.task_count(), false));
   } catch (const MergeInfeasible& e) {
     ok = false;
+    code = e.code;
     error = e.reason;
   }
   // Quiesce the speculation machinery before reading worker state (only
@@ -690,8 +735,9 @@ MergeResult Merger::run() {
     worker_ws_->for_each(
         [&workspace](EngineWorkspace& ws) { workspace += ws.stats; });
   }
-  return MergeResult{std::move(table_), stats_, cache_.stats(),
-                     workspace, ok, std::move(error)};
+  return MergeResult{std::move(table_), stats_,     cache_.stats(),
+                     workspace,         ok,         code,
+                     std::move(error)};
 }
 
 }  // namespace

@@ -93,6 +93,14 @@ struct MergeOptions {
   /// Trace the decision-tree walk, locks and conflicts to stderr
   /// (debugging aid; forces the serial walk).
   bool trace = false;
+  /// Optional cooperative cancellation/deadline/step budget (non-owning;
+  /// must outlive the merge). Polled by the decision-tree walk at every
+  /// node and forwarded into every adjustment engine run — including
+  /// speculative jobs on pool workers, so cancelling the budget drains
+  /// in-flight speculation quickly too. A trip reports through
+  /// MergeResult::ok/code; the table must then not be used, but every
+  /// workspace/history stays reusable.
+  RunBudget* budget = nullptr;
 };
 
 struct MergeStats {
@@ -141,9 +149,13 @@ struct MergeResult {
   WorkspaceStats workspace;
   /// False when an adjustment was unschedulable even after relaxing every
   /// relaxable lock (never happens on validated CPGs; previously this
-  /// aborted via an internal assertion). The table then holds the walk's
-  /// progress up to the failure and must not be used.
+  /// aborted via an internal assertion), or when the walk's RunBudget
+  /// tripped. The table then holds the walk's progress up to the failure
+  /// and must not be used.
   bool ok = true;
+  /// kOk, kUnschedulable (genuine adjustment infeasibility), or the
+  /// interrupt code of the budget trip that stopped the walk.
+  ErrorCode code = ErrorCode::kOk;
   std::string error;  ///< non-empty iff !ok
 };
 

@@ -28,8 +28,16 @@ struct TableValidation {
 
 /// Check requirements 1-3 structurally and requirement 4 (plus physical
 /// realizability) by executing the table on every alternative path.
+///
+/// `complete_coverage` (default) asserts requirement 3 in full: each
+/// row's columns must cover the task guard *exactly*. Bounded-coverage
+/// tables (BudgetAction::kBound — `paths` is a truncated prefix of the
+/// enumeration) pass false: uncovered label combinations legitimately
+/// have no entries, so only the containment direction (req1) and the
+/// per-covered-path requirements are enforced.
 TableValidation validate_table(const FlatGraph& fg,
                                const ScheduleTable& table,
-                               const std::vector<AltPath>& paths);
+                               const std::vector<AltPath>& paths,
+                               bool complete_coverage = true);
 
 }  // namespace cps

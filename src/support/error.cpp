@@ -2,7 +2,59 @@
 
 #include <sstream>
 
-namespace cps::detail {
+namespace cps {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kValidationFailed: return "validation_failed";
+    case ErrorCode::kParseFailed: return "parse_failed";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnschedulable: return "unschedulable";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kStepBudgetExceeded: return "step_budget_exceeded";
+    case ErrorCode::kPathBudgetExceeded: return "path_budget_exceeded";
+    case ErrorCode::kInjectedFault: return "injected_fault";
+  }
+  return "?";
+}
+
+bool is_interrupt(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kCancelled:
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kStepBudgetExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ErrorCode error_code_of(const std::exception& e) {
+  if (const auto* typed = dynamic_cast<const Error*>(&e)) {
+    return typed->code();
+  }
+  return ErrorCode::kInternal;
+}
+
+void throw_interrupt(ErrorCode code, const std::string& context) {
+  switch (code) {
+    case ErrorCode::kCancelled:
+      throw CancelledError(context);
+    case ErrorCode::kDeadlineExceeded:
+      throw DeadlineExceededError(context);
+    case ErrorCode::kStepBudgetExceeded:
+      throw BudgetExceededError(code, context);
+    default:
+      break;
+  }
+  throw InternalError("throw_interrupt called with non-interrupt code " +
+                      std::string(to_string(code)) + ": " + context);
+}
+
+namespace detail {
 
 void throw_internal(const char* expr, const char* file, int line,
                     const std::string& message) {
@@ -16,4 +68,6 @@ void throw_invalid(const std::string& message) {
   throw InvalidArgument(message);
 }
 
-}  // namespace cps::detail
+}  // namespace detail
+
+}  // namespace cps

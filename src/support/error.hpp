@@ -1,45 +1,138 @@
 // Error handling primitives for the condsched library.
 //
-// All library errors derive from cps::Error. Precondition violations on the
-// public API throw InvalidArgument; violated internal invariants throw
-// InternalError (these indicate a library bug and are exercised by tests
-// through deliberately corrupted inputs).
+// All library errors derive from cps::Error and carry a machine-readable
+// ErrorCode. Precondition violations on the public API throw
+// InvalidArgument; violated internal invariants throw InternalError
+// (these indicate a library bug and are exercised by tests through
+// deliberately corrupted inputs). Interrupt conditions — cancellation,
+// deadlines, budgets (support/cancel.hpp) and injected faults
+// (support/fault.hpp) — have their own codes so callers can tell "the
+// input is bad" from "the run was cut short" without string matching:
+// result structs (EngineResult, MergeResult, BatchItem) report the code,
+// and the batch JSON serializes it.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace cps {
 
+/// Machine-readable classification of every error the library reports,
+/// whether thrown (Error::code) or returned (MergeResult::code,
+/// BatchItem::code, ...). Serialized via to_string into batch JSON.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  /// A caller violated a documented API precondition.
+  kInvalidArgument,
+  /// A model or generated table failed semantic validation.
+  kValidationFailed,
+  /// A text input could not be parsed.
+  kParseFailed,
+  /// An internal invariant was violated (a bug in condsched).
+  kInternal,
+  /// A scheduling request has no feasible schedule (locked reservation
+  /// cannot be honored, or the event loop deadlocked). On validated CPGs
+  /// this only occurs for over-constrained merge adjustments, which the
+  /// merge recovers from by relaxing locks.
+  kUnschedulable,
+  /// A CancelToken was triggered (support/cancel.hpp).
+  kCancelled,
+  /// A RunBudget wall-clock deadline passed.
+  kDeadlineExceeded,
+  /// A RunBudget step budget was exhausted.
+  kStepBudgetExceeded,
+  /// The alternative-path budget (CoSynthesisOptions::max_paths or
+  /// RunBudget::max_paths) was crossed. With BudgetAction::kBound this
+  /// marks a *successful* bounded-coverage result, not a failure.
+  kPathBudgetExceeded,
+  /// A deterministic test fault fired (support/fault.hpp).
+  kInjectedFault,
+};
+
+/// Stable snake_case name (used in JSON output and error messages).
+const char* to_string(ErrorCode code);
+
+/// True for codes meaning "the run was cut short by an external limit"
+/// (cancel/deadline/step budget) rather than "this input cannot be
+/// scheduled". Interrupted engine results must NOT enter the merge's
+/// lock-relaxation loop (relaxing locks cannot un-cancel a run) and are
+/// rethrown as typed exceptions by the driver.
+bool is_interrupt(ErrorCode code);
+
 /// Base class of every exception thrown by condsched.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(what), code_(ErrorCode::kInternal) {}
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 /// A caller supplied an argument that violates a documented precondition.
 class InvalidArgument : public Error {
  public:
-  explicit InvalidArgument(const std::string& what) : Error(what) {}
+  explicit InvalidArgument(const std::string& what)
+      : Error(ErrorCode::kInvalidArgument, what) {}
 };
 
 /// A model (graph, architecture, mapping) failed semantic validation.
 class ValidationError : public Error {
  public:
-  explicit ValidationError(const std::string& what) : Error(what) {}
+  explicit ValidationError(const std::string& what)
+      : Error(ErrorCode::kValidationFailed, what) {}
 };
 
 /// A text input (``.cpg`` file, CLI flag) could not be parsed.
 class ParseError : public Error {
  public:
-  explicit ParseError(const std::string& what) : Error(what) {}
+  explicit ParseError(const std::string& what)
+      : Error(ErrorCode::kParseFailed, what) {}
 };
 
 /// An internal invariant of the library was violated (a bug in condsched).
 class InternalError : public Error {
  public:
-  explicit InternalError(const std::string& what) : Error(what) {}
+  explicit InternalError(const std::string& what)
+      : Error(ErrorCode::kInternal, what) {}
 };
+
+/// A CancelToken fired while a run polled its RunBudget.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : Error(ErrorCode::kCancelled, what) {}
+};
+
+/// A RunBudget wall-clock deadline passed mid-run.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : Error(ErrorCode::kDeadlineExceeded, what) {}
+};
+
+/// A RunBudget step budget — or, with BudgetAction::kThrow, the
+/// alternative-path budget — was exhausted mid-run.
+class BudgetExceededError : public Error {
+ public:
+  BudgetExceededError(ErrorCode code, const std::string& what)
+      : Error(code, what) {}
+};
+
+/// The ErrorCode of any exception: Error subclasses report their own
+/// code, everything else maps to kInternal. Used by the batch driver to
+/// type item failures without a dynamic_cast ladder.
+ErrorCode error_code_of(const std::exception& e);
+
+/// Throw the typed exception matching an interrupt code (precondition:
+/// is_interrupt(code)). The driver uses it to convert interrupted
+/// EngineResult/MergeResult codes back into exceptions at the API edge.
+[[noreturn]] void throw_interrupt(ErrorCode code, const std::string& context);
 
 namespace detail {
 [[noreturn]] void throw_internal(const char* expr, const char* file, int line,

@@ -1,0 +1,82 @@
+#include "support/fault.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace cps::fault {
+
+namespace {
+
+struct SiteState {
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  bool armed = false;
+  FaultSpec spec;
+};
+
+// One process-wide registry: tests arm sites, any thread may hit them.
+// A mutex (not lock-free) is fine — sites sit at coarse boundaries and
+// only pay when something is armed; the unarmed fast path is the single
+// relaxed load of armed_count below.
+std::mutex registry_mutex;
+std::map<std::string, SiteState>& registry() {
+  static std::map<std::string, SiteState> sites;
+  return sites;
+}
+std::atomic<std::uint64_t> armed_count{0};
+
+}  // namespace
+
+void arm(const std::string& site, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  SiteState& s = registry()[site];
+  if (!s.armed) armed_count.fetch_add(1, std::memory_order_relaxed);
+  s.armed = true;
+  s.spec = spec;
+  s.hits = 0;
+  s.fires = 0;
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  registry().clear();
+  armed_count.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  const auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fires(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  const auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.fires;
+}
+
+namespace detail {
+
+void hit(const char* site) {
+  if (armed_count.load(std::memory_order_relaxed) == 0) return;
+  bool fire = false;
+  bool transient = false;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    const auto it = registry().find(site);
+    if (it == registry().end() || !it->second.armed) return;
+    SiteState& s = it->second;
+    ++s.hits;
+    if (s.hits >= s.spec.fire_at && s.hits < s.spec.fire_at + s.spec.count) {
+      ++s.fires;
+      fire = true;
+      transient = s.spec.transient;
+    }
+  }
+  if (fire) throw InjectedFault(site, transient);
+}
+
+}  // namespace detail
+
+}  // namespace cps::fault

@@ -1,8 +1,10 @@
 #include "support/thread_pool.hpp"
 
+#include <cassert>
 #include <utility>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace cps {
 
@@ -36,6 +38,9 @@ PoolStats PoolStats::delta_since(const PoolStats& before) const {
   d.injected = injected - before.injected;
   d.help_runs = help_runs - before.help_runs;
   d.max_help_depth = max_help_depth;  // high-water mark, not a counter
+  d.pending = pending;                // level, not a counter
+  d.cancelled_tasks = cancelled_tasks - before.cancelled_tasks;
+  d.dropped_errors = dropped_errors - before.dropped_errors;
   return d;
 }
 
@@ -73,6 +78,9 @@ PoolStats ThreadPool::stats() const {
   s.injected = injected_.load(std::memory_order_relaxed);
   s.help_runs = help_runs_.load(std::memory_order_relaxed);
   s.max_help_depth = max_help_depth_.load(std::memory_order_relaxed);
+  s.pending = pending_.load(std::memory_order_relaxed);
+  s.cancelled_tasks = cancelled_tasks_.load(std::memory_order_relaxed);
+  s.dropped_errors = dropped_errors_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -313,9 +321,14 @@ void ThreadPool::parallel_for(std::size_t count,
     }
     // The group wait help-runs queued helpers, so a parallel_for from
     // inside another pool job never deadlocks. When the caller's own
-    // body threw, the destructor's silent wait runs instead and the
-    // caller's error wins.
-    if (!caller_error) group.wait();
+    // body threw, the caller's error wins: any error a helper captured
+    // meanwhile is dismissed explicitly (not silently dropped — the
+    // destructor would count that against PoolStats::dropped_errors).
+    if (caller_error) {
+      group.wait_dismissing_errors();
+    } else {
+      group.wait();
+    }
   }
   if (caller_error) std::rethrow_exception(caller_error);
 }
@@ -323,6 +336,23 @@ void ThreadPool::parallel_for(std::size_t count,
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(0);
   return pool;
+}
+
+TaskGroup::~TaskGroup() {
+  wait_impl(/*rethrow=*/false);
+  // pending_ hit zero under mutex_ before we got here, so no task is
+  // touching group state anymore: error_ is safe to read unlocked.
+  if (error_ != nullptr) {
+    pool_->dropped_errors_.fetch_add(1, std::memory_order_relaxed);
+    assert(!"TaskGroup destroyed with an unobserved task exception; "
+            "call wait() or wait_dismissing_errors()");
+  }
+}
+
+void TaskGroup::wait_dismissing_errors() {
+  wait_impl(/*rethrow=*/false);
+  std::lock_guard<std::mutex> lock(mutex_);
+  error_ = nullptr;
 }
 
 void TaskGroup::submit(std::function<void()> fn, TaskPriority priority) {
@@ -336,7 +366,15 @@ void TaskGroup::submit(std::function<void()> fn, TaskPriority priority) {
   pool_->push_task(
       ThreadPool::Task{[this, seq, f = std::move(fn)] {
                          try {
-                           f();
+                           // A cancelled group's queued bodies are
+                           // skipped: the backlog drains at pop speed.
+                           if (cancelled_.load(std::memory_order_relaxed)) {
+                             pool_->cancelled_tasks_.fetch_add(
+                                 1, std::memory_order_relaxed);
+                           } else {
+                             CPS_FAULT_POINT("pool.group_task");
+                             f();
+                           }
                          } catch (...) {
                            std::lock_guard<std::mutex> lock(mutex_);
                            if (error_ == nullptr || seq < error_seq_) {

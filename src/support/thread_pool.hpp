@@ -74,9 +74,23 @@ struct PoolStats {
   std::uint64_t injected = 0;    ///< popped the external injection queue
   std::uint64_t help_runs = 0;   ///< tasks run inside a TaskGroup::wait
   std::uint64_t max_help_depth = 0;  ///< deepest observed help nesting
+  /// Tasks queued but not yet claimed at snapshot time (a level, not a
+  /// monotonic counter). The balance invariant of a snapshot is
+  /// submitted == executed + pending + in-flight; after wait_idle() both
+  /// pending and in-flight are zero, so submitted == executed exactly —
+  /// snapshots no longer show the surprising executed < submitted gap
+  /// that claimed-no-op merge tasks used to leave behind.
+  std::uint64_t pending = 0;
+  /// Task bodies skipped because their TaskGroup was cancelled (the
+  /// wrapper still runs and counts as executed).
+  std::uint64_t cancelled_tasks = 0;
+  /// TaskGroups destroyed with a captured exception nobody observed
+  /// (wait() not called after a task failed). Debug builds also assert.
+  std::uint64_t dropped_errors = 0;
 
   /// Counter difference against an earlier snapshot of the same pool
-  /// (max_help_depth keeps this snapshot's high-water mark).
+  /// (max_help_depth keeps this snapshot's high-water mark, pending this
+  /// snapshot's level).
   PoolStats delta_since(const PoolStats& before) const;
 };
 
@@ -209,6 +223,8 @@ class ThreadPool {
   std::atomic<std::uint64_t> injected_{0};
   std::atomic<std::uint64_t> help_runs_{0};
   std::atomic<std::uint64_t> max_help_depth_{0};
+  std::atomic<std::uint64_t> cancelled_tasks_{0};
+  std::atomic<std::uint64_t> dropped_errors_{0};
 };
 
 /// A set of tasks awaited together — the pool's unit of *nesting*. A task
@@ -217,15 +233,18 @@ class ThreadPool {
 /// thread only sleeps when every remaining child is already running
 /// elsewhere. Exceptions thrown by tasks are captured at the steal
 /// boundary and the first one (by submission order — deterministic, not
-/// by completion race) is rethrown from wait(). The destructor waits but
-/// swallows errors; call wait() explicitly to observe them. Tasks may
+/// by completion race) is rethrown from wait(). Destroying a group with
+/// an unobserved captured exception counts a PoolStats::dropped_errors
+/// and asserts in debug builds; call wait() to observe errors, or
+/// wait_dismissing_errors() to discard them deliberately. Tasks may
 /// submit further tasks into their own group while it is being waited on.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool& pool) : pool_(&pool) {}
 
-  /// Waits for stragglers (errors swallowed — see class comment).
-  ~TaskGroup() { wait_impl(/*rethrow=*/false); }
+  /// Waits for stragglers. An unobserved captured exception is counted
+  /// (and debug-asserted) as dropped — see class comment.
+  ~TaskGroup();
 
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
@@ -238,10 +257,28 @@ class TaskGroup {
   /// submission order (at most once; later wait() calls return quietly).
   void wait() { wait_impl(/*rethrow=*/true); }
 
+  /// Like wait(), but deliberately discards any captured exception —
+  /// for callers that already hold a better error of their own (see
+  /// parallel_for: when the caller's body threw, the caller's error
+  /// wins over whatever the helpers captured).
+  void wait_dismissing_errors();
+
+  /// Request cancellation: queued tasks of this group that have not
+  /// started yet run as no-ops (counted in PoolStats::cancelled_tasks),
+  /// so a cancelled group drains in queue-pop time instead of executing
+  /// its backlog. Tasks already running are not interrupted — they
+  /// observe cancellation cooperatively via their own RunBudget, if any.
+  /// wait() still accounts for every submitted task.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
  private:
   void wait_impl(bool rethrow);
 
   ThreadPool* pool_;
+  std::atomic<bool> cancelled_{false};
   std::mutex mutex_;
   std::condition_variable cv_;
   std::size_t pending_ = 0;   // guarded by mutex_

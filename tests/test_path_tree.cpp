@@ -316,7 +316,7 @@ TEST(PathTreeDriver, MaxPathsBudgetTripsMidTrie) {
     CoSynthesisOptions options;
     options.schedule_threads = threads;
     options.max_paths = 64;
-    EXPECT_THROW(schedule_cpg(g, options), InvalidArgument);
+    EXPECT_THROW(schedule_cpg(g, options), BudgetExceededError);
   }
   // A graph within the budget still co-synthesizes in every mode.
   const Cpg ok = series_of_conditions(3);

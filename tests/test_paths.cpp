@@ -193,7 +193,7 @@ TEST(PathEnumerator, DriverPathBudgetTripsBeforeMaterializing) {
   const Cpg g = series_of_conditions(12);  // 4096 paths
   CoSynthesisOptions options;
   options.max_paths = 64;
-  EXPECT_THROW(schedule_cpg(g, options), InvalidArgument);
+  EXPECT_THROW(schedule_cpg(g, options), BudgetExceededError);
   // A graph within the budget still co-synthesizes.
   const Cpg ok = series_of_conditions(3);
   options.max_paths = 8;

@@ -221,10 +221,44 @@ TEST(PoolStress, CountersBalanceOnceIdle) {
   const PoolStats stats = pool.stats();
   EXPECT_EQ(stats.submitted, 64u);
   EXPECT_EQ(stats.executed, 64u);
+  // The drained pool must report a *balanced* snapshot: nothing pending,
+  // nothing unaccounted. (PR 6 left stats() racy against in-flight
+  // submissions; pending makes the ledger explicit.)
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_EQ(stats.dropped_errors, 0u);
   // External submissions arrive through the injection queue; every pop
   // is attributed to exactly one source.
   EXPECT_EQ(stats.local_hits + stats.steals + stats.injected, 64u);
   EXPECT_GT(stats.injected, 0u);
+}
+
+TEST(PoolStress, CountersBalanceUnderConcurrentNestedChurn) {
+  // Hammer the ledger from many directions at once — external submits,
+  // nested groups, priorities — then drain and require exact balance:
+  // submitted == executed and pending == 0 after wait_idle(), at every
+  // pool size. This is the invariant stats() readers (batch JSON) rely on.
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    pool.parallel_for(
+        16,
+        [&](std::size_t) {
+          TaskGroup inner(pool);
+          for (int j = 0; j < 8; ++j) {
+            inner.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); },
+                         TaskPriority::kHigh);
+          }
+          inner.wait();
+        },
+        TaskPriority::kLow);
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 16 * 8) << "pool size " << threads;
+    const PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.submitted, stats.executed) << "pool size " << threads;
+    EXPECT_EQ(stats.pending, 0u) << "pool size " << threads;
+    EXPECT_EQ(stats.cancelled_tasks, 0u);
+    EXPECT_EQ(stats.dropped_errors, 0u);
+  }
 }
 
 }  // namespace
