@@ -7,10 +7,14 @@
 //
 // `--json FILE` dumps the final batch (machine-readable) to FILE
 // ("-" = stdout).
+#include <unistd.h>
+
 #include <iostream>
 #include <thread>
 
 #include "sched/batch_driver.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
 #include "support/table_format.hpp"
@@ -40,6 +44,11 @@ int main(int argc, char** argv) try {
   cli.add_bool("no-timing",
                "omit wall-clock fields from --json so output is "
                "byte-identical across runs and thread counts");
+  cli.add_bool("server",
+               "route the same workload through an in-process co-synthesis "
+               "service (closed-loop client per worker) instead of "
+               "run_batch — measures the service overhead on top of the "
+               "batch substrate");
   if (!cli.parse(argc, argv)) return 0;
 
   BatchConfig config;
@@ -89,6 +98,14 @@ int main(int argc, char** argv) try {
     sweep.push_back(max_threads);
   }
 
+  const bool serve_mode = cli.get_bool("server");
+  if (serve_mode && !cli.get_string("json").empty()) {
+    std::cerr << "error: --json (per-item dump) is a run_batch feature; "
+                 "--server responses live in the service protocol — use "
+                 "bench_serve_load --verify for per-item comparisons\n";
+    return 1;
+  }
+
   std::string last_json;
   double base_wall = 0.0;
   bool failed = false;
@@ -103,29 +120,69 @@ int main(int argc, char** argv) try {
   std::vector<SweepPoint> points;
   for (std::size_t threads : sweep) {
     config.threads = threads;
-    const BatchResult result = run_batch(config);
-    const BatchSummary& s = result.summary;
-    // A timed-out item is an expected outcome under --deadline-ms, not a
-    // benchmark failure; anything else failing still fails the run.
-    if (s.ok_count + s.timeouts != s.count) failed = true;
-    if (threads == 1) base_wall = s.wall_ms;
-    const double speedup = s.wall_ms > 0.0 ? base_wall / s.wall_ms : 0.0;
-    points.push_back(SweepPoint{threads, s.wall_ms, s.graphs_per_second,
-                                speedup, s.timeouts, s.retries});
-    table.cell(static_cast<std::int64_t>(threads))
-        .cell(s.wall_ms, 1)
-        .cell(s.graphs_per_second, 1)
-        .cell(speedup, 2)
-        .cell(100.0 * speedup / static_cast<double>(threads), 1)
-        .cell(static_cast<std::int64_t>(s.ok_count))
-        .cell(static_cast<std::int64_t>(s.timeouts))
-        .cell(static_cast<std::int64_t>(s.retries));
-    table.end_row();
-    if (!cli.get_string("json").empty()) {
-      BatchJsonOptions json_options;
-      json_options.include_timing = !cli.get_bool("no-timing");
-      last_json = batch_result_to_json(result, json_options);
+    SweepPoint point;
+    point.threads = threads;
+    std::size_t ok_count = 0;
+    if (serve_mode) {
+      // Same workload definition, routed through the service: an
+      // in-process Server with `threads` workers, a closed-loop client
+      // per worker. The delta against the plain sweep is the service
+      // overhead (framing, admission, completion hand-off).
+      ServerOptions options;
+      options.socket_path =
+          "/tmp/condsched_s2_" + std::to_string(::getpid()) + ".sock";
+      options.threads = threads;
+      // The whole batch is offered deliberately; admission must not shed.
+      options.max_queue_depth = std::max<std::size_t>(config.count, 1);
+      options.workload = config;
+      Server server(std::move(options));
+      std::thread runner([&server] { server.run(); });
+      LoadGenConfig load;
+      load.socket_path = server.socket_path();
+      load.requests = config.count;
+      load.connections = threads;
+      const LoadGenResult r = run_loadgen(load);
+      server.request_drain();
+      runner.join();
+      // The workload's own --deadline-ms applies inside run_batch_item,
+      // so timeouts surface as deadline-coded item responses here too.
+      if (r.ok + r.timed_out != config.count) failed = true;
+      ok_count = r.ok;
+      point.wall_ms = r.wall_ms;
+      point.graphs_per_second =
+          r.wall_ms > 0.0
+              ? 1000.0 * static_cast<double>(r.responses) / r.wall_ms
+              : 0.0;
+      point.timeouts = r.timed_out;
+    } else {
+      const BatchResult result = run_batch(config);
+      const BatchSummary& s = result.summary;
+      // A timed-out item is an expected outcome under --deadline-ms, not
+      // a benchmark failure; anything else failing still fails the run.
+      if (s.ok_count + s.timeouts != s.count) failed = true;
+      ok_count = s.ok_count;
+      point.wall_ms = s.wall_ms;
+      point.graphs_per_second = s.graphs_per_second;
+      point.timeouts = s.timeouts;
+      point.retries = s.retries;
+      if (!cli.get_string("json").empty()) {
+        BatchJsonOptions json_options;
+        json_options.include_timing = !cli.get_bool("no-timing");
+        last_json = batch_result_to_json(result, json_options);
+      }
     }
+    if (threads == 1) base_wall = point.wall_ms;
+    point.speedup = point.wall_ms > 0.0 ? base_wall / point.wall_ms : 0.0;
+    points.push_back(point);
+    table.cell(static_cast<std::int64_t>(threads))
+        .cell(point.wall_ms, 1)
+        .cell(point.graphs_per_second, 1)
+        .cell(point.speedup, 2)
+        .cell(100.0 * point.speedup / static_cast<double>(threads), 1)
+        .cell(static_cast<std::int64_t>(ok_count))
+        .cell(static_cast<std::int64_t>(point.timeouts))
+        .cell(static_cast<std::int64_t>(point.retries));
+    table.end_row();
   }
 
   const std::string json_path = cli.get_string("json");
@@ -149,6 +206,7 @@ int main(int argc, char** argv) try {
     w.begin_object();
     w.field("schema_version", 1);
     w.field("bench", "bench_batch_throughput");
+    w.field("mode", serve_mode ? "server" : "batch");
     w.key("config").begin_object();
     w.field("graphs", config.count);
     w.field("nodes", config.cpg.process_count);

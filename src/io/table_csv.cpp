@@ -1,5 +1,7 @@
 #include "io/table_csv.hpp"
 
+#include <sstream>
+
 #include "support/csv.hpp"
 
 namespace cps {
@@ -23,6 +25,12 @@ void write_table_csv(std::ostream& os, const ScheduleTable& table) {
       csv.end_row();
     }
   }
+}
+
+std::string table_csv_string(const ScheduleTable& table) {
+  std::ostringstream os;
+  write_table_csv(os, table);
+  return os.str();
 }
 
 void write_delay_csv(std::ostream& os, const FlatGraph& fg,

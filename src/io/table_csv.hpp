@@ -3,6 +3,7 @@
 #pragma once
 
 #include <ostream>
+#include <string>
 
 #include "sched/delay.hpp"
 #include "sched/schedule_table.hpp"
@@ -11,6 +12,12 @@ namespace cps {
 
 /// One row per cell: task, kind, resource, column expression, start.
 void write_table_csv(std::ostream& os, const ScheduleTable& table);
+
+/// Same rows as write_table_csv, rendered to a string — for embedding
+/// the table in another document (the service attaches it to a JSON
+/// response when a request asks for "csv"). Deterministic: a pure
+/// function of the table.
+std::string table_csv_string(const ScheduleTable& table);
 
 /// One row per alternative path: label, optimal delay, table delay.
 void write_delay_csv(std::ostream& os, const FlatGraph& fg,

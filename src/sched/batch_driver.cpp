@@ -65,8 +65,10 @@ void write_stat(JsonWriter& w, const std::string& name,
   w.end_object();
 }
 
-void write_item(JsonWriter& w, const BatchItem& item,
-                const BatchJsonOptions& options) {
+}  // namespace
+
+void write_batch_item_json(JsonWriter& w, const BatchItem& item,
+                           const BatchJsonOptions& options) {
   w.begin_object();
   w.field("index", item.index);
   w.field("seed", item.seed);
@@ -114,14 +116,16 @@ void write_item(JsonWriter& w, const BatchItem& item,
   w.field("entries", item.cover_cache.entries);
   w.field("resets", item.cover_cache.resets);
   w.end_object();
-  w.key("workspace").begin_object();
-  w.field("runs", item.workspace.runs);
-  w.field("reuse_hits", item.workspace.reuse_hits);
-  w.field("resumes", item.workspace.resumes);
-  w.field("full_reuses", item.workspace.full_reuses);
-  w.field("from_scratch", item.workspace.from_scratch);
-  w.field("resumed_steps", item.workspace.resumed_steps);
-  w.end_object();
+  if (options.include_reuse_counters) {
+    w.key("workspace").begin_object();
+    w.field("runs", item.workspace.runs);
+    w.field("reuse_hits", item.workspace.reuse_hits);
+    w.field("resumes", item.workspace.resumes);
+    w.field("full_reuses", item.workspace.full_reuses);
+    w.field("from_scratch", item.workspace.from_scratch);
+    w.field("resumed_steps", item.workspace.resumed_steps);
+    w.end_object();
+  }
   w.key("path_tree").begin_object();
   w.field("prefix_resumes", item.tree.prefix_resumes);
   w.field("resumed_steps", item.tree.resumed_steps);
@@ -140,7 +144,12 @@ void write_item(JsonWriter& w, const BatchItem& item,
   w.end_object();
 }
 
-}  // namespace
+std::string batch_item_to_json(const BatchItem& item,
+                               const BatchJsonOptions& options) {
+  JsonWriter w(options.indent);
+  write_batch_item_json(w, item, options);
+  return w.str();
+}
 
 namespace {
 
@@ -159,6 +168,12 @@ std::uint64_t retry_backoff_ms(std::uint64_t seed, std::size_t attempt) {
 
 BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
                          ThreadPool* runtime) {
+  return run_batch_item(config, index, runtime, nullptr);
+}
+
+BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
+                         ThreadPool* runtime,
+                         const BatchItemObserver& observe) {
   BatchItem item;
   item.index = index;
   item.seed = config.base_seed + index;
@@ -235,6 +250,8 @@ BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
       item.schedule_ms = result.timings.schedule_ms;
       item.merge_ms = result.timings.merge_ms;
       item.validate_ms = result.timings.validate_ms;
+      // While `g`/`arch` are alive: the result's FlatGraph points at them.
+      if (observe) observe(result);
       break;
     } catch (const InjectedFault& e) {
       item.ok = false;
@@ -382,7 +399,7 @@ std::string batch_result_to_json(const BatchResult& result,
   if (options.include_items) {
     w.key("items").begin_array();
     for (const BatchItem& item : result.items) {
-      write_item(w, item, options);
+      write_batch_item_json(w, item, options);
     }
     w.end_array();
   }

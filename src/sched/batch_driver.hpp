@@ -17,6 +17,7 @@
 // the benchmark harness and external tooling.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "support/stats.hpp"
 
 namespace cps {
+
+class JsonWriter;
 
 struct BatchConfig {
   /// Number of random CPGs to co-synthesize.
@@ -50,6 +53,15 @@ struct BatchConfig {
   const CancelToken* cancel = nullptr;
   RandomArchParams arch;
   RandomCpgParams cpg;
+  /// Per-item co-synthesis knobs. Most are passed through as-is; the
+  /// driver overrides workspace/schedule_pool/keep_paths per item (see
+  /// run_batch_item). synthesis.workspace_pool *does* flow through: a
+  /// thread-safe pool of warm engine workspaces shared by every item
+  /// (the service sets one per session). Results are identical with or
+  /// without it, but the per-item "workspace" reuse counters then depend
+  /// on which item drew a warm workspace — serialize with
+  /// BatchJsonOptions::include_reuse_counters off when comparing such
+  /// runs byte-for-byte.
   CoSynthesisOptions synthesis;
 };
 
@@ -156,6 +168,18 @@ struct BatchResult {
 BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
                          ThreadPool* runtime = nullptr);
 
+/// Like run_batch_item, but additionally hands the successful attempt's
+/// full CoSynthesisResult to `observe` (never called when the item
+/// failed) — for harnesses that need more than the summarized BatchItem,
+/// e.g. the service rendering a schedule-table CSV for a request. The
+/// callback runs while the generated graph is still alive; the result
+/// (its FlatGraph references the Cpg/Architecture, both locals of the
+/// attempt) must NOT escape the callback.
+using BatchItemObserver = std::function<void(const CoSynthesisResult&)>;
+BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
+                         ThreadPool* runtime,
+                         const BatchItemObserver& observe);
+
 /// Run the whole batch on the configured thread pool. Per-item failures
 /// (generation or validation errors) are captured in the item, not thrown.
 BatchResult run_batch(const BatchConfig& config);
@@ -166,11 +190,27 @@ struct BatchJsonOptions {
   bool include_timing = true;
   /// Include the per-item array, not just config + summary.
   bool include_items = true;
+  /// Include the per-item engine-workspace reuse-counter block. Those
+  /// counters are a pure function of the seed for the default cold
+  /// per-item workspaces, but with a shared WorkspacePool they reflect
+  /// warm-lease luck — disable when comparing a pooled run against a
+  /// cold oracle byte-for-byte (the service's determinism contract).
+  bool include_reuse_counters = true;
   /// Spaces per indentation level (0 = compact).
   int indent = 2;
 };
 
 std::string batch_result_to_json(const BatchResult& result,
                                  const BatchJsonOptions& options = {});
+
+/// Serialize one item exactly as it appears in batch_result_to_json's
+/// "items" array — into an existing writer (for embedding in a larger
+/// document, e.g. a service response) or as a standalone string. The
+/// byte-identical service contract rides on this shared serializer: a
+/// response item and the run_batch oracle's item are the same bytes.
+void write_batch_item_json(JsonWriter& w, const BatchItem& item,
+                           const BatchJsonOptions& options);
+std::string batch_item_to_json(const BatchItem& item,
+                               const BatchJsonOptions& options = {});
 
 }  // namespace cps

@@ -5,6 +5,7 @@
 #include <exception>
 #include <optional>
 
+#include "sched/workspace_pool.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 #include "support/strings.hpp"
@@ -84,10 +85,22 @@ ScheduleStage run_serial_stage(const Cpg& g, const FlatGraph& flat,
                                bool tree) {
   ScheduleStage out;
   CoverCache cover_cache;
-  EngineWorkspace owned_workspace;
-  EngineWorkspace& workspace =
-      options.workspace != nullptr ? *options.workspace : owned_workspace;
-  const WorkspaceStats workspace_before = workspace.stats;
+  // Workspace resolution: an explicit external workspace wins, then a
+  // warm lease from the pool, then a call-local one. All three are
+  // result-equivalent; the stats delta below keeps the serialized
+  // counters scoped to this call either way.
+  WorkspaceLease lease;
+  std::optional<EngineWorkspace> owned_workspace;
+  EngineWorkspace* workspace = options.workspace;
+  if (workspace == nullptr && options.workspace_pool != nullptr) {
+    lease = options.workspace_pool->acquire();
+    workspace = lease.get();
+  }
+  if (workspace == nullptr) {
+    owned_workspace.emplace();
+    workspace = &*owned_workspace;
+  }
+  const WorkspaceStats workspace_before = workspace->stats;
   const std::size_t max_paths = effective_max_paths(options);
   // Stage-level budget poll between paths (belt to the engine's per-step
   // polling: enumeration itself is engine-free work).
@@ -130,7 +143,7 @@ ScheduleStage run_serial_stage(const Cpg& g, const FlatGraph& flat,
       req.history = &chain;
     }
     req.budget = options.budget;
-    EngineResult res = run_list_scheduler(flat, req, workspace);
+    EngineResult res = run_list_scheduler(flat, req, *workspace);
     check_path_result(res);
     if (res.resumed) {
       ++out.tree.prefix_resumes;
@@ -140,7 +153,7 @@ ScheduleStage run_serial_stage(const Cpg& g, const FlatGraph& flat,
     out.schedule_ms += ms_between(s0, clock_type::now());
   }
   out.cover_cache = cover_cache.stats();
-  out.workspace = workspace.stats;
+  out.workspace = workspace->stats;
   out.workspace -= workspace_before;
   return out;
 }
@@ -196,8 +209,20 @@ std::optional<ScheduleStage> run_decomposed_stage(
       CPS_FAULT_POINT("trie.subtree");
       // Private workspace per job (not a per-worker slot): the
       // warm-buffer reuse counters become part of the job, so the
-      // aggregated WorkspaceStats cannot depend on work-stealing luck.
-      EngineWorkspace ws;
+      // aggregated WorkspaceStats cannot depend on work-stealing luck. A
+      // pool lease keeps the privacy (one workspace per concurrent job)
+      // while letting repeated calls start warm.
+      WorkspaceLease lease;
+      std::optional<EngineWorkspace> owned_ws;
+      EngineWorkspace* ws;
+      if (options.workspace_pool != nullptr) {
+        lease = options.workspace_pool->acquire();
+        ws = lease.get();
+      } else {
+        owned_ws.emplace();
+        ws = &*owned_ws;
+      }
+      const WorkspaceStats ws_before = ws->stats;
       CoverCache cover_cache;  // per job: keeps the counters deterministic
       EngineHistory chain;     // demand-driven recording, like the serial walk
       BudgetPoll poll(options.budget);  // per-leaf poll, clock amortized
@@ -218,7 +243,7 @@ std::optional<ScheduleStage> run_decomposed_stage(
         req.resume = EngineResume::kCheckpoint;
         req.history = &chain;
         req.budget = options.budget;
-        EngineResult res = run_list_scheduler(flat, req, ws);
+        EngineResult res = run_list_scheduler(flat, req, *ws);
         check_path_result(res);
         if (res.resumed) {
           ++r.tree.prefix_resumes;
@@ -227,7 +252,8 @@ std::optional<ScheduleStage> run_decomposed_stage(
         r.schedules.push_back(std::move(res.schedule));
       }
       r.cover_cache = cover_cache.stats();
-      r.workspace = ws.stats;
+      r.workspace = ws->stats;
+      r.workspace -= ws_before;
     } catch (...) {
       r.error = std::current_exception();
     }

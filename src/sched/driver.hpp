@@ -13,6 +13,8 @@
 
 namespace cps {
 
+class WorkspacePool;
+
 /// What a max_paths / RunBudget::max_paths trip does.
 ///
 /// kThrow (default, historical behavior): the flow throws
@@ -107,6 +109,18 @@ struct CoSynthesisOptions {
   /// private workspace per subtree job instead). nullptr = the flow owns
   /// a workspace per call (still reused across all paths of that call).
   EngineWorkspace* workspace = nullptr;
+  /// Optional thread-safe pool of warm engine workspaces (non-owning;
+  /// must outlive the call). Covers what `workspace` cannot: the
+  /// decomposed tree walk runs one private workspace *per subtree job*,
+  /// and a single external workspace is not legal across concurrent
+  /// jobs. With a pool, every job (and the serial walk, when `workspace`
+  /// is unset) leases a workspace instead of constructing one, so
+  /// repeated calls — a service session, a batch rerun — stop re-paying
+  /// the engine-buffer allocations. Results are byte-identical with or
+  /// without a pool; only WorkspaceStats reuse counters reflect the warm
+  /// start (see workspace_pool.hpp). Ignored when `workspace` is set
+  /// (serial walks honor the explicit workspace first).
+  WorkspacePool* workspace_pool = nullptr;
   /// Per-path scheduling strategy (see PathScheduling). Tree mode is the
   /// production default; the path-list reference is retained for
   /// equivalence tests and ablation.

@@ -214,12 +214,18 @@ class Merger {
   /// (or workspace slot) that borrows from this object after it is gone,
   /// and wait out the ones that are running. A normal walk commits — and
   /// therefore claims — every job it spawned; this matters when the walk
-  /// unwinds through an exception.
+  /// unwinds through an exception. Then quiesce the group: a committed
+  /// job leaves its claimed-no-op wrapper behind in the pool queue, and
+  /// waiting those wrappers out (help-running them — they are claim-check
+  /// cheap) restores the submitted == executed balance before merge
+  /// returns, so callers snapshotting PoolStats right after see a
+  /// settled runtime instead of phantom pending work.
   void drain_outstanding() {
     for (const std::shared_ptr<SpecJob>& job : outstanding_) {
       if (job->claimed.exchange(true)) job->wait();
     }
     outstanding_.clear();
+    if (spec_group_ != nullptr) spec_group_->wait();
   }
 
   const FlatGraph& fg_;
@@ -266,6 +272,10 @@ class Merger {
   /// WorkerLocal reserves for the walking thread, unused here — the walk
   /// runs on walk_ws_).
   std::unique_ptr<WorkerLocal<EngineWorkspace>> worker_ws_;
+  /// All speculative wrappers ride one group so drain_outstanding() can
+  /// wait them out (declared after owned_pool_ in destruction-order
+  /// terms: the group dies before the pool it tags tasks on).
+  std::unique_ptr<TaskGroup> spec_group_;
   std::vector<std::shared_ptr<SpecJob>> outstanding_;
 };
 
@@ -538,7 +548,7 @@ std::shared_ptr<SpecJob> Merger::spawn(const Cube& ancestors,
   // High priority: on a shared runtime a speculative adjustment is on
   // the walking thread's critical path *right now*, so it must jump
   // ahead of queued batch items and subtree jobs.
-  pool_->submit(
+  spec_group_->submit(
       [job] {
         if (job->claimed.exchange(true)) return;  // the walk got there first
         job->run();
@@ -703,6 +713,7 @@ MergeResult Merger::run() {
       pool_ = owned_pool_.get();
     }
     worker_ws_ = std::make_unique<WorkerLocal<EngineWorkspace>>(*pool_);
+    spec_group_ = std::make_unique<TaskGroup>(*pool_);
   }
 
   histories_.resize(paths_.size());

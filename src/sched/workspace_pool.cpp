@@ -1,0 +1,51 @@
+#include "sched/workspace_pool.hpp"
+
+namespace cps {
+
+WorkspaceLease::~WorkspaceLease() {
+  if (pool_ != nullptr && ws_ != nullptr) pool_->give_back(std::move(ws_));
+}
+
+WorkspaceLease& WorkspaceLease::operator=(WorkspaceLease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr && ws_ != nullptr) pool_->give_back(std::move(ws_));
+    pool_ = other.pool_;
+    ws_ = std::move(other.ws_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+WorkspaceLease WorkspacePool::acquire() {
+  std::unique_ptr<EngineWorkspace> ws;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.leases;
+    if (!free_.empty()) {
+      ++stats_.warm_hits;
+      ws = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++stats_.created;
+    }
+  }
+  if (ws == nullptr) ws = std::make_unique<EngineWorkspace>();
+  return WorkspaceLease(this, std::move(ws));
+}
+
+std::size_t WorkspacePool::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+WorkspacePool::Stats WorkspacePool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void WorkspacePool::give_back(std::unique_ptr<EngineWorkspace> ws) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(ws));
+}
+
+}  // namespace cps

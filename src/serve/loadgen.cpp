@@ -1,0 +1,214 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "serve/client.hpp"
+#include "support/json.hpp"
+
+namespace cps {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_between(clock_type::time_point a, clock_type::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Nearest-rank percentile (q in [0,1]) of a sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// Everything one connection thread accumulates; merged under a mutex at
+/// the end (threads never share counters while driving load).
+struct ThreadTally {
+  std::vector<double> latencies_ms;
+  LoadGenResult counts;  // only the std::size_t counters are used
+};
+
+/// Classify one response payload into the tally (and optionally retain
+/// it). Returns the parsed request id when available.
+void classify(const std::string& payload, bool keep, ThreadTally& tally) {
+  std::uint64_t id = 0;
+  try {
+    const JsonValue doc = JsonValue::parse(payload);
+    const JsonValue* idv = doc.find("id");
+    if (idv != nullptr && idv->kind() == JsonValue::Kind::kNumber) {
+      id = static_cast<std::uint64_t>(idv->as_number());
+    }
+    const std::string& status = doc.at("status").as_string();
+    if (status == "ok") {
+      ++tally.counts.ok;
+    } else if (status == "rejected_overload") {
+      ++tally.counts.shed;
+    } else if (status == "deadline_exceeded") {
+      ++tally.counts.timed_out;
+    } else {
+      ++tally.counts.other_failed;
+    }
+  } catch (const std::exception&) {
+    ++tally.counts.parse_failed;
+    return;
+  }
+  ++tally.counts.responses;
+  if (keep) tally.counts.payloads.emplace_back(id, payload);
+}
+
+}  // namespace
+
+LoadGenResult run_loadgen(const LoadGenConfig& config) {
+  const std::size_t connections =
+      std::max<std::size_t>(1, std::min(config.connections, config.requests));
+  std::vector<ThreadTally> tallies(connections);
+  const auto t_begin = clock_type::now();
+
+  // Closed loop pulls the next ordinal from a shared counter (whichever
+  // connection is free takes the next request — maximal concurrency);
+  // open loop pre-partitions ordinals so each thread can pace its own
+  // sends against the global schedule without coordination.
+  std::atomic<std::size_t> next_ordinal{0};
+
+  const auto closed_loop = [&](std::size_t worker) {
+    ThreadTally& tally = tallies[worker];
+    try {
+      ServeClient client(config.socket_path, config.recv_timeout_s);
+      while (true) {
+        const std::size_t ordinal = next_ordinal.fetch_add(1);
+        if (ordinal >= config.requests) return;
+        const std::uint64_t id = config.first_id + ordinal;
+        if (!client.send_run(id, std::nullopt, config.deadline_ms)) {
+          ++tally.counts.disconnected;
+          return;
+        }
+        ++tally.counts.sent;
+        const auto t0 = clock_type::now();
+        const std::optional<std::string> response = client.recv();
+        if (!response.has_value()) {
+          if (client.connected()) {
+            ++tally.counts.recv_timeouts;
+          } else {
+            ++tally.counts.disconnected;
+          }
+          return;
+        }
+        tally.latencies_ms.push_back(ms_between(t0, clock_type::now()));
+        classify(*response, config.keep_payloads, tally);
+      }
+    } catch (const std::exception&) {
+      // Connect refused (e.g. the daemon already drained): everything
+      // this thread would have sent is accounted as disconnected.
+      ++tally.counts.disconnected;
+    }
+  };
+
+  const auto open_loop = [&](std::size_t worker) {
+    ThreadTally& tally = tallies[worker];
+    const double interval_ms =
+        config.rate_per_sec > 0.0 ? 1000.0 / config.rate_per_sec : 0.0;
+    std::unordered_map<std::uint64_t, clock_type::time_point> sent_at;
+    try {
+      // Short receive timeout: recv() doubles as the pacing sleep.
+      ServeClient client(config.socket_path, 0.01);
+      const auto drain_one = [&]() -> bool {
+        const std::optional<std::string> response = client.recv();
+        if (!response.has_value()) return false;
+        std::uint64_t id = 0;
+        try {
+          const JsonValue doc = JsonValue::parse(*response);
+          const JsonValue* idv = doc.find("id");
+          if (idv != nullptr && idv->kind() == JsonValue::Kind::kNumber) {
+            id = static_cast<std::uint64_t>(idv->as_number());
+          }
+        } catch (const std::exception&) {
+        }
+        const auto it = sent_at.find(id);
+        if (it != sent_at.end()) {
+          tally.latencies_ms.push_back(
+              ms_between(it->second, clock_type::now()));
+          sent_at.erase(it);
+        }
+        classify(*response, config.keep_payloads, tally);
+        return true;
+      };
+      for (std::size_t ordinal = worker; ordinal < config.requests;
+           ordinal += connections) {
+        const auto due =
+            t_begin + std::chrono::duration_cast<clock_type::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              interval_ms * static_cast<double>(ordinal)));
+        while (clock_type::now() < due) {
+          if (!drain_one() && !client.connected()) break;
+        }
+        if (!client.connected()) break;
+        const std::uint64_t id = config.first_id + ordinal;
+        sent_at[id] = clock_type::now();
+        if (!client.send_run(id, std::nullopt, config.deadline_ms)) break;
+        ++tally.counts.sent;
+      }
+      // Collect stragglers until everything sent is answered or the
+      // receive budget runs dry.
+      const auto give_up =
+          clock_type::now() +
+          std::chrono::duration_cast<clock_type::duration>(
+              std::chrono::duration<double>(config.recv_timeout_s));
+      while (!sent_at.empty() && client.connected() &&
+             clock_type::now() < give_up) {
+        drain_one();
+      }
+      tally.counts.disconnected += sent_at.size();
+    } catch (const std::exception&) {
+      tally.counts.disconnected += sent_at.size();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      if (config.open_loop) {
+        open_loop(c);
+      } else {
+        closed_loop(c);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LoadGenResult result;
+  std::vector<double> all_latencies;
+  for (ThreadTally& tally : tallies) {
+    result.sent += tally.counts.sent;
+    result.responses += tally.counts.responses;
+    result.ok += tally.counts.ok;
+    result.shed += tally.counts.shed;
+    result.timed_out += tally.counts.timed_out;
+    result.other_failed += tally.counts.other_failed;
+    result.parse_failed += tally.counts.parse_failed;
+    result.disconnected += tally.counts.disconnected;
+    result.recv_timeouts += tally.counts.recv_timeouts;
+    all_latencies.insert(all_latencies.end(), tally.latencies_ms.begin(),
+                         tally.latencies_ms.end());
+    for (auto& kv : tally.counts.payloads) {
+      result.payloads.push_back(std::move(kv));
+    }
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  result.p50_ms = percentile(all_latencies, 0.50);
+  result.p99_ms = percentile(all_latencies, 0.99);
+  result.p999_ms = percentile(all_latencies, 0.999);
+  result.wall_ms = ms_between(t_begin, clock_type::now());
+  return result;
+}
+
+}  // namespace cps

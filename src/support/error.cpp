@@ -17,6 +17,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kStepBudgetExceeded: return "step_budget_exceeded";
     case ErrorCode::kPathBudgetExceeded: return "path_budget_exceeded";
     case ErrorCode::kInjectedFault: return "injected_fault";
+    case ErrorCode::kRejectedOverload: return "rejected_overload";
   }
   return "?";
 }

@@ -48,6 +48,13 @@ enum class ErrorCode : std::uint8_t {
   kPathBudgetExceeded,
   /// A deterministic test fault fired (support/fault.hpp).
   kInjectedFault,
+  /// The co-synthesis service refused admission: a bounded request queue
+  /// or in-flight-bytes watermark was exceeded (or the daemon is
+  /// draining). Never raised by the library pipeline itself — it exists
+  /// so servers can shed load with a *typed* response instead of a
+  /// string, and so clients can distinguish "back off and retry" from
+  /// every other failure.
+  kRejectedOverload,
 };
 
 /// Stable snake_case name (used in JSON output and error messages).

@@ -1,0 +1,81 @@
+#include "support/frame.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4;
+
+std::uint32_t read_be32(const char* p) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+}  // namespace
+
+void append_frame(std::string& out, const std::string& payload,
+                  std::size_t max_payload) {
+  CPS_REQUIRE(payload.size() <= max_payload &&
+                  payload.size() <= std::size_t{0xffffffff},
+              "frame payload exceeds the frame size limit");
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  char header[kHeaderBytes];
+  header[0] = static_cast<char>((n >> 24) & 0xff);
+  header[1] = static_cast<char>((n >> 16) & 0xff);
+  header[2] = static_cast<char>((n >> 8) & 0xff);
+  header[3] = static_cast<char>(n & 0xff);
+  out.append(header, kHeaderBytes);
+  out.append(payload);
+}
+
+std::string encode_frame(const std::string& payload, std::size_t max_payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  append_frame(out, payload, max_payload);
+  return out;
+}
+
+bool FrameDecoder::feed(const char* data, std::size_t size) {
+  if (corrupt_) return false;
+  // Compact once the consumed prefix dominates the buffer: amortized O(1)
+  // per byte, and a long-lived connection cannot grow the buffer beyond
+  // ~2x its peak unconsumed size.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+  // Validate the next header eagerly so a poisoned length is reported on
+  // feed, before a caller waits for a payload that will never fit.
+  if (buffer_.size() - consumed_ >= kHeaderBytes) {
+    const std::uint32_t n = read_be32(buffer_.data() + consumed_);
+    if (n > max_payload_) {
+      corrupt_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (corrupt_) return std::nullopt;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderBytes) return std::nullopt;
+  const std::uint32_t n = read_be32(buffer_.data() + consumed_);
+  if (n > max_payload_) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (available < kHeaderBytes + n) return std::nullopt;
+  std::string payload(buffer_.data() + consumed_ + kHeaderBytes, n);
+  consumed_ += kHeaderBytes + n;
+  return payload;
+}
+
+}  // namespace cps

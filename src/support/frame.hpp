@@ -1,0 +1,69 @@
+// Length-prefixed message framing for the co-synthesis service.
+//
+// The wire format is deliberately minimal: every message is a 4-byte
+// big-endian unsigned payload length followed by that many payload bytes
+// (UTF-8 JSON in the service protocol, but the codec is payload-agnostic).
+// Stream boundaries are therefore exact — a reader never has to scan for
+// delimiters inside a payload — and a single malformed length cannot be
+// resynchronized, so the decoder treats an over-limit length as a fatal
+// protocol error and the connection must be closed.
+//
+// FrameDecoder is incremental: feed() whatever the socket produced
+// (including partial headers) and pop complete frames as they become
+// available. The internal buffer compacts lazily so a burst of small
+// frames costs one memmove, not one per frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cps {
+
+/// Bytes of the length prefix preceding every payload.
+constexpr std::size_t kFrameHeaderSize = 4;
+
+/// Default payload cap: generous for request/response JSON, small enough
+/// that a corrupt length prefix cannot make a reader allocate gigabytes.
+constexpr std::size_t kDefaultMaxFramePayload = std::size_t{16} << 20;
+
+/// Encode one frame: 4-byte big-endian length + payload, appended to
+/// `out` (append-based so a response writer can batch several frames
+/// into one socket write). Throws InvalidArgument when the payload
+/// exceeds `max_payload`.
+void append_frame(std::string& out, const std::string& payload,
+                  std::size_t max_payload = kDefaultMaxFramePayload);
+
+/// Convenience form returning a fresh buffer.
+std::string encode_frame(const std::string& payload,
+                         std::size_t max_payload = kDefaultMaxFramePayload);
+
+/// Incremental frame reader (see file comment).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Append raw stream bytes. Returns false — permanently — once a frame
+  /// header announces a payload larger than max_payload (the stream is
+  /// unrecoverable; close the connection).
+  bool feed(const char* data, std::size_t size);
+
+  /// Pop the next complete payload, if any.
+  std::optional<std::string> next();
+
+  /// True after feed() observed an over-limit length prefix.
+  bool corrupt() const { return corrupt_; }
+
+  /// Bytes buffered but not yet returned (header + partial payloads).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_payload_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already returned
+  bool corrupt_ = false;
+};
+
+}  // namespace cps

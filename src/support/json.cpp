@@ -114,6 +114,12 @@ JsonWriter& JsonWriter::key(const std::string& k) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  comma_and_newline();
+  out_ += json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(const std::string& v) {
   comma_and_newline();
   out_ += '"';

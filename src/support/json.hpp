@@ -52,6 +52,13 @@ class JsonWriter {
   JsonWriter& value(bool v);
   JsonWriter& null();
 
+  /// Splice a pre-serialized JSON value verbatim in value position (after
+  /// a key, or as an array element) — for embedding a document rendered
+  /// by another writer (e.g. a batch item inside a service response). The
+  /// caller vouches that `json` is valid and matches this writer's indent
+  /// style; nothing is re-validated.
+  JsonWriter& raw(const std::string& json);
+
   /// key(k) + value(v) in one call.
   template <typename T>
   JsonWriter& field(const std::string& k, const T& v) {

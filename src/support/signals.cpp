@@ -1,0 +1,75 @@
+#include "support/signals.hpp"
+
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+namespace {
+
+// Handler-visible state. The write fd is an int (not UnixFd) because the
+// handler may run on any thread at any time; it is only mutated while no
+// handlers are installed.
+std::atomic<bool> g_instance_alive{false};
+volatile std::sig_atomic_t g_triggered = 0;
+int g_wakeup_fd = -1;
+
+extern "C" void signal_drain_handler(int) {
+  g_triggered = 1;
+  if (g_wakeup_fd >= 0) signal_wakeup_pipe(g_wakeup_fd);
+}
+
+UnixFd g_write_end;  // owns g_wakeup_fd for the instance's lifetime
+
+}  // namespace
+
+SignalDrain::SignalDrain(std::initializer_list<int> signals) {
+  CPS_REQUIRE(!g_instance_alive.exchange(true),
+              "only one SignalDrain may be alive per process");
+  auto pipe = make_wakeup_pipe();
+  read_end_ = std::move(pipe.first);
+  g_write_end = std::move(pipe.second);
+  g_wakeup_fd = g_write_end.get();
+  g_triggered = 0;
+
+  struct sigaction action{};
+  action.sa_handler = signal_drain_handler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: the whole point is that a blocking poll() returns
+  // (EINTR) even if the pipe write raced it.
+  action.sa_flags = 0;
+  for (int signo : signals) {
+    Installed entry{signo, {}};
+    if (::sigaction(signo, &action, &entry.previous) != 0) {
+      // Roll back what was installed so the process is not left with a
+      // half-applied disposition set.
+      for (auto it = installed_.rbegin(); it != installed_.rend(); ++it) {
+        ::sigaction(it->signo, &it->previous, nullptr);
+      }
+      g_wakeup_fd = -1;
+      g_write_end.reset();
+      g_instance_alive.store(false);
+      throw Error(ErrorCode::kInternal,
+                  "sigaction failed for signal " + std::to_string(signo));
+    }
+    installed_.push_back(entry);
+  }
+}
+
+SignalDrain::~SignalDrain() {
+  for (auto it = installed_.rbegin(); it != installed_.rend(); ++it) {
+    ::sigaction(it->signo, &it->previous, nullptr);
+  }
+  g_wakeup_fd = -1;
+  g_write_end.reset();
+  g_triggered = 0;
+  g_instance_alive.store(false);
+}
+
+bool SignalDrain::triggered() const {
+  drain_wakeup_pipe(read_end_.get());
+  return g_triggered != 0;
+}
+
+}  // namespace cps

@@ -1,0 +1,52 @@
+// Poll-friendly delivery of termination signals.
+//
+// A long-lived daemon must turn SIGTERM into a *graceful drain*, not an
+// abrupt exit — but almost nothing is legal inside a signal handler.
+// SignalDrain uses the classic self-pipe pattern: the handler does two
+// async-signal-safe things (set a sig_atomic_t flag, write one byte to a
+// nonblocking pipe) and everything else happens on the event loop, which
+// polls fd() alongside its sockets and calls triggered() when it wakes.
+//
+// One instance per process (enforced): POSIX signal dispositions are
+// process-global, so a second concurrent instance could only fight over
+// them. The previous dispositions are restored on destruction, making
+// the scoped use in tests (install, raise, drain, uninstall) safe.
+#pragma once
+
+#include <csignal>
+#include <initializer_list>
+#include <vector>
+
+#include "support/socket.hpp"
+
+namespace cps {
+
+class SignalDrain {
+ public:
+  /// Install handlers for `signals` (e.g. {SIGTERM, SIGINT}). Throws
+  /// Error if another SignalDrain is alive or sigaction fails.
+  explicit SignalDrain(std::initializer_list<int> signals);
+  ~SignalDrain();
+
+  SignalDrain(const SignalDrain&) = delete;
+  SignalDrain& operator=(const SignalDrain&) = delete;
+
+  /// Read end of the self-pipe: becomes readable when a signal arrived.
+  /// Poll it; then call triggered() (which also drains the pipe).
+  int fd() const { return read_end_.get(); }
+
+  /// True once any installed signal was delivered (sticky). Drains the
+  /// wakeup pipe as a side effect so level-triggered poll loops settle.
+  bool triggered() const;
+
+ private:
+  struct Installed {
+    int signo;
+    struct sigaction previous;
+  };
+
+  UnixFd read_end_;
+  std::vector<Installed> installed_;
+};
+
+}  // namespace cps

@@ -1,0 +1,200 @@
+#include "support/socket.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace cps {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(ErrorCode::kInternal, what + ": " + ::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  CPS_REQUIRE(path.size() < sizeof(addr.sun_path),
+              "unix socket path too long: " + path);
+  ::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void UnixFd::reset() {
+  if (fd_ >= 0) {
+    // EINTR on close is unrecoverable-by-retry on Linux (the fd is gone
+    // either way); just ignore the result.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+std::pair<UnixFd, UnixFd> make_wakeup_pipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) throw_errno("pipe");
+  UnixFd read_end(fds[0]);
+  UnixFd write_end(fds[1]);
+  set_nonblocking(read_end.get());
+  set_nonblocking(write_end.get());
+  ::fcntl(read_end.get(), F_SETFD, FD_CLOEXEC);
+  ::fcntl(write_end.get(), F_SETFD, FD_CLOEXEC);
+  return {std::move(read_end), std::move(write_end)};
+}
+
+void drain_wakeup_pipe(int fd) {
+  char sink[256];
+  while (true) {
+    const ssize_t n = ::read(fd, sink, sizeof(sink));
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN (drained) or EOF/error — nothing more to coalesce
+  }
+}
+
+void signal_wakeup_pipe(int fd) {
+  const char byte = 1;
+  // A full pipe means a wakeup is already pending — losing this byte is
+  // fine. EINTR: retry once is pointless for a 1-byte nonblocking write
+  // that exists only to make poll() return; the pending-data case covers
+  // us, and repeated wakeups are idempotent.
+  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+}
+
+UnixListener::UnixListener(const std::string& path, int backlog)
+    : path_(path) {
+  const sockaddr_un addr = make_addr(path);
+  UnixFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+  // A stale socket file from a crashed daemon would fail bind with
+  // EADDRINUSE; the service owns its path, so replace it.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw_errno("listen(" + path + ")");
+  }
+  set_nonblocking(fd.get());
+  fd_ = std::move(fd);
+}
+
+UnixListener::~UnixListener() { close(); }
+
+void UnixListener::close() {
+  if (fd_.valid()) {
+    fd_.reset();
+    ::unlink(path_.c_str());
+  }
+}
+
+UnixFd UnixListener::accept() {
+  while (true) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      UnixFd conn(fd);
+      set_nonblocking(conn.get());
+      ::fcntl(conn.get(), F_SETFD, FD_CLOEXEC);
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    // EAGAIN: nothing pending. ECONNABORTED: the peer gave up between
+    // connect and accept — per-connection noise, not a listener error.
+    return UnixFd();
+  }
+}
+
+UnixFd unix_connect(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  UnixFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+  while (true) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("connect(" + path + ")");
+  }
+}
+
+void set_recv_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) *
+                               1e6);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+IoStatus socket_read(int fd, char* buffer, std::size_t size,
+                     std::size_t* transferred) {
+  *transferred = 0;
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, size, 0);
+    if (n > 0) {
+      *transferred = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (errno == ECONNRESET) return IoStatus::kClosed;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus socket_write(int fd, const char* buffer, std::size_t size,
+                      std::size_t* transferred) {
+  *transferred = 0;
+  while (true) {
+    const ssize_t n = ::send(fd, buffer, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      *transferred = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (errno == EPIPE || errno == ECONNRESET) return IoStatus::kClosed;
+    return IoStatus::kError;
+  }
+}
+
+bool write_all(int fd, const char* buffer, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    std::size_t n = 0;
+    const IoStatus status = socket_write(fd, buffer + sent, size - sent, &n);
+    if (status == IoStatus::kOk) {
+      sent += n;
+      continue;
+    }
+    if (status == IoStatus::kWouldBlock) {
+      // Blocking client sockets only reach here via SO_SNDTIMEO (unset by
+      // default); treat a timeout as a dead peer.
+      return false;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cps

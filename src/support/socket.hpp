@@ -1,0 +1,124 @@
+// Thin RAII layer over AF_UNIX stream sockets for the co-synthesis
+// service. Everything here is deliberately boring POSIX: the server
+// event loop needs nonblocking accept/read/write with EINTR/EAGAIN
+// folded into typed results, tests need a blocking client with a
+// receive timeout, and both need file descriptors that cannot leak
+// across exceptions. No protocol knowledge lives here (see
+// support/frame.hpp and serve/protocol.hpp for that).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace cps {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class UnixFd {
+ public:
+  UnixFd() = default;
+  explicit UnixFd(int fd) : fd_(fd) {}
+  ~UnixFd() { reset(); }
+
+  UnixFd(UnixFd&& other) noexcept : fd_(other.release()) {}
+  UnixFd& operator=(UnixFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UnixFd(const UnixFd&) = delete;
+  UnixFd& operator=(const UnixFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one nonblocking read/write attempt.
+enum class IoStatus : unsigned char {
+  kOk,          ///< >= 1 byte transferred
+  kWouldBlock,  ///< EAGAIN/EWOULDBLOCK — retry after poll()
+  kClosed,      ///< orderly EOF (reads) or EPIPE/ECONNRESET (writes)
+  kError,       ///< any other errno (connection unusable)
+};
+
+/// Create a pipe whose write end is safe to use from a signal handler /
+/// pool worker (both ends nonblocking + CLOEXEC). Throws Error on
+/// failure.
+std::pair<UnixFd, UnixFd> make_wakeup_pipe();
+
+/// Drain every pending byte from a wakeup pipe read end (level-triggered
+/// poll loops coalesce wakeups this way).
+void drain_wakeup_pipe(int fd);
+
+/// Write one byte to a wakeup pipe write end, ignoring a full pipe (the
+/// reader is already pending wakeup). Async-signal-safe.
+void signal_wakeup_pipe(int fd);
+
+/// Listening AF_UNIX stream socket bound to `path`. Binding unlinks a
+/// stale socket file first; the destructor unlinks it again so daemons
+/// do not litter. Throws Error when bind/listen fail (e.g. the path
+/// exceeds sun_path, or the directory is not writable).
+class UnixListener {
+ public:
+  UnixListener() = default;
+  explicit UnixListener(const std::string& path, int backlog = 64);
+  ~UnixListener();
+
+  UnixListener(UnixListener&&) noexcept = default;
+  UnixListener& operator=(UnixListener&&) noexcept = default;
+
+  /// Accept one pending connection as a nonblocking fd. Returns an
+  /// invalid UnixFd when no connection is pending (EAGAIN) or on a
+  /// transient per-connection error (ECONNABORTED, EINTR).
+  UnixFd accept();
+
+  int fd() const { return fd_.get(); }
+  bool valid() const { return fd_.valid(); }
+  const std::string& path() const { return path_; }
+
+  /// Close the listening socket and unlink the path (idempotent): the
+  /// graceful-drain "stop accepting" step, before the listener object
+  /// itself goes away.
+  void close();
+
+ private:
+  UnixFd fd_;
+  std::string path_;
+};
+
+/// Connect to a listening unix socket. Blocking fd (client side); throws
+/// Error when the socket does not exist or refuses.
+UnixFd unix_connect(const std::string& path);
+
+/// Set a receive timeout on a blocking socket (0 = never time out).
+void set_recv_timeout(int fd, double seconds);
+
+/// Nonblocking read into `buffer`/`size`. On kOk, `*transferred` holds
+/// the byte count.
+IoStatus socket_read(int fd, char* buffer, std::size_t size,
+                     std::size_t* transferred);
+
+/// Nonblocking write of `buffer`/`size` (MSG_NOSIGNAL — a dead peer
+/// yields kClosed, not SIGPIPE). On kOk, `*transferred` holds the byte
+/// count (possibly short).
+IoStatus socket_write(int fd, const char* buffer, std::size_t size,
+                      std::size_t* transferred);
+
+/// Blocking write of the whole buffer (client side). Returns false when
+/// the peer closed or errored.
+bool write_all(int fd, const char* buffer, std::size_t size);
+
+void set_nonblocking(int fd);
+
+}  // namespace cps

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "sched/batch_driver.hpp"
+#include "sched/workspace_pool.hpp"
 #include "support/json.hpp"
 
 namespace {
@@ -184,15 +185,36 @@ TEST(BatchDriver, PooledBatchRunsInnerSubtreeJobsOnPoolWorkers) {
   const BatchResult result = run_batch(config);
   ASSERT_EQ(result.summary.ok_count, config.count);
   const PoolStats& pool = result.summary.pool;
-  // Claimed-by-the-walk speculative merge tasks may still sit queued (as
-  // no-ops) when the stats snapshot is taken, so executed can trail
-  // submitted slightly; the pool destructor drains them.
-  EXPECT_LE(pool.executed, pool.submitted);
+  // The merge quiesces its speculative task group before returning, so
+  // the snapshot is exactly balanced — no claimed no-op wrappers linger.
+  EXPECT_EQ(pool.executed, pool.submitted);
   EXPECT_GT(pool.executed, static_cast<std::uint64_t>(config.count));
   EXPECT_GT(pool.local_hits + pool.steals, 0u);
   for (const BatchItem& item : result.items) {
     EXPECT_GT(item.tree.subtrees_parallel, 1u);
   }
+}
+
+// A shared warm-workspace pool (the service's per-session reuse) must
+// not change any result: with the reuse counters excluded from the
+// serialization, a pooled batch is byte-identical to a cold one.
+TEST(BatchDriver, SharedWorkspacePoolKeepsResultsByteIdentical) {
+  BatchConfig config = small_config();
+  BatchJsonOptions json_options = deterministic_json();
+  json_options.include_reuse_counters = false;
+  const std::string cold =
+      batch_result_to_json(run_batch(config), json_options);
+
+  WorkspacePool pool;
+  config.synthesis.workspace_pool = &pool;
+  const std::string warm =
+      batch_result_to_json(run_batch(config), json_options);
+  EXPECT_EQ(cold, warm);
+
+  const WorkspacePool::Stats stats = pool.stats();
+  EXPECT_GT(stats.leases, 0u);
+  EXPECT_GT(stats.warm_hits, 0u) << "the pool must actually reuse buffers";
+  EXPECT_EQ(pool.idle(), stats.created) << "every lease returned";
 }
 
 TEST(BatchDriver, SummaryAggregatesOnlySuccessfulItems) {

@@ -18,6 +18,9 @@
 #include <thread>
 #include <vector>
 
+#include "gen/arch_gen.hpp"
+#include "gen/random_cpg.hpp"
+#include "sched/driver.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -258,6 +261,37 @@ TEST(PoolStress, CountersBalanceUnderConcurrentNestedChurn) {
     EXPECT_EQ(stats.pending, 0u) << "pool size " << threads;
     EXPECT_EQ(stats.cancelled_tasks, 0u);
     EXPECT_EQ(stats.dropped_errors, 0u);
+  }
+}
+
+TEST(PoolStress, SpeculativeMergeQuiescesItsTasksBeforeReturning) {
+  // A speculative merge claims committed jobs and leaves the queued
+  // wrappers as no-ops; before this PR those wrappers could still be
+  // pending when merge returned, so an immediate stats() snapshot read
+  // executed < submitted. The merge now waits for its own task group:
+  // the ledger must balance the moment schedule_cpg returns — no
+  // wait_idle() allowed here, that is the point.
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    for (std::uint64_t seed : {11u, 23u, 47u}) {
+      Rng rng(seed);
+      const Architecture arch =
+          generate_random_architecture(rng, RandomArchParams{});
+      RandomCpgParams params;
+      params.process_count = 20;
+      params.path_count = 6;
+      const Cpg g = generate_random_cpg(arch, params, rng);
+      CoSynthesisOptions options;
+      options.merge.execution = MergeExecution::kSpeculative;
+      options.merge.pool = &pool;
+      const CoSynthesisResult result = schedule_cpg(g, options);
+      EXPECT_EQ(result.status, ErrorCode::kOk);
+      const PoolStats stats = pool.stats();
+      EXPECT_EQ(stats.submitted, stats.executed)
+          << "pool size " << threads << ", seed " << seed;
+      EXPECT_EQ(stats.pending, 0u)
+          << "pool size " << threads << ", seed " << seed;
+    }
   }
 }
 

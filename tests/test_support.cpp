@@ -7,10 +7,12 @@
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
+#include "support/frame.hpp"
 #include "support/json.hpp"
 #include "support/random.hpp"
 #include "support/small_vector.hpp"
@@ -617,6 +619,49 @@ TEST(ThreadPool, StatsDeltaSinceIsolatesACallWindow) {
 }
 
 // ---------------------------------------------------------- error -----
+
+TEST(Frame, RoundTripsThroughArbitrarySplitPoints) {
+  // The decoder must reassemble frames no matter how the stream is cut —
+  // including splits inside the 4-byte header.
+  const std::vector<std::string> payloads = {"", "a", std::string(300, 'x'),
+                                             "{\"id\": 1}"};
+  std::string stream;
+  for (const std::string& p : payloads) append_frame(stream, p);
+  for (std::size_t chunk = 1; chunk <= 7; ++chunk) {
+    FrameDecoder decoder;
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < stream.size(); i += chunk) {
+      ASSERT_TRUE(
+          decoder.feed(stream.data() + i, std::min(chunk, stream.size() - i)));
+      while (auto frame = decoder.next()) out.push_back(std::move(*frame));
+    }
+    EXPECT_EQ(out, payloads) << "chunk size " << chunk;
+    EXPECT_EQ(decoder.buffered(), 0u);
+    EXPECT_FALSE(decoder.corrupt());
+  }
+}
+
+TEST(Frame, OverLimitLengthPoisonsTheDecoder) {
+  FrameDecoder decoder(16);
+  const std::string frame = encode_frame(std::string(17, 'y'));
+  EXPECT_FALSE(decoder.feed(frame.data(), frame.size()));
+  EXPECT_TRUE(decoder.corrupt());
+  EXPECT_FALSE(decoder.next().has_value());
+  // Permanently: even a well-formed follow-up frame is refused.
+  const std::string ok = encode_frame("ok");
+  EXPECT_FALSE(decoder.feed(ok.data(), ok.size()));
+  EXPECT_THROW(encode_frame(std::string(17, 'y'), 16), InvalidArgument);
+}
+
+TEST(Frame, HeaderIsBigEndianAndExactlyFourBytes) {
+  const std::string frame = encode_frame("abc");
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + 3);
+  EXPECT_EQ(frame[0], '\0');
+  EXPECT_EQ(frame[1], '\0');
+  EXPECT_EQ(frame[2], '\0');
+  EXPECT_EQ(frame[3], '\x03');
+  EXPECT_EQ(frame.substr(4), "abc");
+}
 
 TEST(Error, AssertMacroThrowsInternalError) {
   EXPECT_THROW(CPS_ASSERT(false, "boom"), InternalError);
