@@ -10,9 +10,11 @@
 #include <unistd.h>
 
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "sched/batch_driver.hpp"
+#include "sched/schedule_cache.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "support/cli.hpp"
@@ -49,6 +51,10 @@ int main(int argc, char** argv) try {
                "service (closed-loop client per worker) instead of "
                "run_batch — measures the service overhead on top of the "
                "batch substrate");
+  cli.add_flag("cache-dir", "",
+               "content-addressed schedule cache backed by this directory "
+               "(persists across runs; a second identical run replays "
+               "every item from the store)");
   if (!cli.parse(argc, argv)) return 0;
 
   BatchConfig config;
@@ -71,6 +77,17 @@ int main(int argc, char** argv) try {
   } else {
     std::cerr << "unknown --ready value: " << ready << '\n';
     return 1;
+  }
+
+  // One cache across the whole sweep: the 1-thread point warms it and
+  // wider points replay (results are byte-identical either way). With
+  // --cache-dir the exact tier persists across bench invocations too.
+  std::unique_ptr<ScheduleCache> cache;
+  if (!cli.get_string("cache-dir").empty()) {
+    ScheduleCacheOptions cache_options;
+    cache_options.store_dir = cli.get_string("cache-dir");
+    cache = std::make_unique<ScheduleCache>(cache_options);
+    config.cache = cache.get();
   }
 
   std::size_t max_threads = cli.get_count("max-threads", 0);

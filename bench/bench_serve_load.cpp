@@ -21,12 +21,73 @@
 #include <thread>
 
 #include "sched/batch_driver.hpp"
+#include "serve/client.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
 #include "support/table_format.hpp"
+
+namespace {
+
+/// The daemon's schedule-cache counters, fetched via the "stats" op.
+/// `available` stays false when the server cannot be reached or predates
+/// the op — the bench then just omits the cache block.
+struct CacheStatsSnapshot {
+  bool available = false;
+  bool enabled = false;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_errors = 0;
+  std::uint64_t prefix_hits = 0;
+  std::uint64_t prefix_misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+CacheStatsSnapshot fetch_cache_stats(const std::string& socket_path) {
+  using namespace cps;
+  CacheStatsSnapshot snap;
+  try {
+    ServeClient client(socket_path, 5.0);
+    JsonWriter w(0);
+    w.begin_object();
+    w.field("id", std::uint64_t{0});
+    w.field("op", "stats");
+    w.end_object();
+    if (!client.send(w.str())) return snap;
+    const std::optional<std::string> response = client.recv();
+    if (!response.has_value()) return snap;
+    const JsonValue doc = JsonValue::parse(*response);
+    const JsonValue* cache = doc.find("cache");
+    if (cache == nullptr || !cache->is_object()) return snap;
+    const auto u64 = [&](const char* key) -> std::uint64_t {
+      const JsonValue* v = cache->find(key);
+      if (v == nullptr || v->kind() != JsonValue::Kind::kNumber) return 0;
+      return static_cast<std::uint64_t>(v->as_number());
+    };
+    snap.hits = u64("hits");
+    snap.misses = u64("misses");
+    snap.store_hits = u64("store_hits");
+    snap.store_errors = u64("store_errors");
+    snap.prefix_hits = u64("prefix_hits");
+    snap.prefix_misses = u64("prefix_misses");
+    snap.insertions = u64("insertions");
+    snap.evictions = u64("evictions");
+    if (const JsonValue* enabled = doc.find("cache_enabled")) {
+      snap.enabled = enabled->kind() == JsonValue::Kind::kBool &&
+                     enabled->as_bool();
+    }
+    snap.available = true;
+  } catch (const std::exception&) {
+    // Unreachable daemon (already drained): no cache block, not an error.
+  }
+  return snap;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) try {
   using namespace cps;
@@ -47,12 +108,20 @@ int main(int argc, char** argv) try {
   cli.add_bool("verify", "compare every item-bearing response against the "
                          "run_batch_item oracle, byte for byte");
   cli.add_flag("json-out", "", "write results as JSON to FILE (- = stdout)");
+  cli.add_flag("repeat-frac", "0",
+               "fraction of requests re-issuing an earlier index (zipf-ish "
+               "reuse; exercises the daemon schedule cache)");
+  cli.add_flag("repeat-seed", "1", "seed of the deterministic repeat plan");
   // In-process server knobs (ignored with --socket).
   cli.add_flag("threads", "0", "server workers (0 = hardware)");
   cli.add_flag("max-queue-depth", "64", "server admission bound");
   cli.add_flag("max-inflight-bytes", "4194304", "server byte watermark");
   cli.add_flag("overload", "shed-oldest",
                "server policy: shed-oldest | reject-newest");
+  cli.add_bool("no-cache", "disable the in-process server's schedule cache");
+  cli.add_flag("cache-dir", "",
+               "persistent schedule-cache directory of the in-process "
+               "server (empty = memory only)");
   // Workload definition (must match the daemon's when --socket is used;
   // --verify builds its oracle from these flags).
   cli.add_flag("nodes", "60", "processes per generated graph");
@@ -77,6 +146,8 @@ int main(int argc, char** argv) try {
   load.recv_timeout_s = static_cast<double>(cli.get_count("recv-timeout-s", 1));
   load.tolerate_disconnect = cli.get_bool("tolerate-drain");
   load.keep_payloads = cli.get_bool("verify");
+  load.repeat_frac = cli.get_double("repeat-frac");
+  load.repeat_seed = static_cast<std::uint64_t>(cli.get_count("repeat-seed", 0));
 
   // No external daemon: run one in-process on a private socket and drain
   // it after the load completes.
@@ -99,12 +170,18 @@ int main(int argc, char** argv) try {
       return 1;
     }
     options.workload = workload;
+    options.enable_cache = !cli.get_bool("no-cache");
+    options.cache.store_dir = cli.get_string("cache-dir");
     server = std::make_unique<Server>(std::move(options));
     load.socket_path = server->socket_path();
     server_thread = std::thread([&server] { server->run(); });
   }
 
   const LoadGenResult result = run_loadgen(load);
+
+  // Snapshot the daemon's cache counters before draining it (the load's
+  // exact hits and misses are all recorded by now).
+  const CacheStatsSnapshot cache = fetch_cache_stats(load.socket_path);
 
   if (server != nullptr) {
     server->request_drain();
@@ -116,11 +193,18 @@ int main(int argc, char** argv) try {
   std::size_t verified = 0;
   std::size_t mismatches = 0;
   if (cli.get_bool("verify")) {
+    // Repeat plans decouple the workload index from the request id; the
+    // oracle must follow the same deterministic id -> index mapping.
+    const std::vector<std::uint64_t> plan = loadgen_plan_indices(load);
     auto payloads = result.payloads;
     std::sort(payloads.begin(), payloads.end());
     for (const auto& [id, payload] : payloads) {
       if (payload.find("\"item\": ") == std::string::npos) continue;
-      const BatchItem item = run_batch_item(workload, id, nullptr);
+      const std::uint64_t ordinal = id - load.first_id;
+      const std::uint64_t index =
+          ordinal < plan.size() ? plan[ordinal] : id;
+      const BatchItem item =
+          run_batch_item(workload, static_cast<std::size_t>(index), nullptr);
       const std::string expected = make_item_response(id, item, nullptr);
       if (payload == expected) {
         ++verified;
@@ -165,6 +249,25 @@ int main(int argc, char** argv) try {
     human << "oracle: " << verified << " verified, " << mismatches
           << " mismatches\n";
   }
+  if (load.repeat_frac > 0.0) {
+    human << "repeat mode: " << result.unique_indices << " unique / "
+          << result.repeats_planned << " repeats; cold p50 "
+          << result.cold_p50_ms << " ms p99 " << result.cold_p99_ms
+          << " ms; repeat p50 " << result.repeat_p50_ms << " ms p99 "
+          << result.repeat_p99_ms << " ms\n";
+  }
+  if (cache.available) {
+    const std::uint64_t lookups = cache.hits + cache.misses;
+    human << "daemon cache: " << (cache.enabled ? "enabled" : "disabled")
+          << "; exact " << cache.hits << "/" << lookups << " hits";
+    if (lookups > 0) {
+      human << " (" << 100.0 * static_cast<double>(cache.hits) /
+                           static_cast<double>(lookups)
+            << "% hit rate)";
+    }
+    human << ", store hits " << cache.store_hits << ", prefix hits "
+          << cache.prefix_hits << "\n";
+  }
 
   if (!perf_path.empty()) {
     JsonWriter w(2);
@@ -180,6 +283,8 @@ int main(int argc, char** argv) try {
     w.field("nodes", workload.cpg.process_count);
     w.field("paths", workload.cpg.path_count);
     w.field("seed", workload.base_seed);
+    w.field("repeat_frac", load.repeat_frac);
+    w.field("repeat_seed", load.repeat_seed);
     w.end_object();
     w.key("result").begin_object();
     w.field("sent", result.sent);
@@ -196,11 +301,37 @@ int main(int argc, char** argv) try {
     w.field("p50_ms", result.p50_ms);
     w.field("p99_ms", result.p99_ms);
     w.field("p999_ms", result.p999_ms);
+    if (load.repeat_frac > 0.0) {
+      w.field("unique_indices", result.unique_indices);
+      w.field("repeats_planned", result.repeats_planned);
+      w.field("cold_p50_ms", result.cold_p50_ms);
+      w.field("cold_p99_ms", result.cold_p99_ms);
+      w.field("repeat_p50_ms", result.repeat_p50_ms);
+      w.field("repeat_p99_ms", result.repeat_p99_ms);
+    }
     if (cli.get_bool("verify")) {
       w.field("oracle_verified", verified);
       w.field("oracle_mismatches", mismatches);
     }
     w.end_object();
+    if (cache.available) {
+      w.key("cache").begin_object();
+      w.field("enabled", cache.enabled);
+      w.field("hits", cache.hits);
+      w.field("misses", cache.misses);
+      const std::uint64_t lookups = cache.hits + cache.misses;
+      w.field("hit_rate",
+              lookups > 0 ? static_cast<double>(cache.hits) /
+                                static_cast<double>(lookups)
+                          : 0.0);
+      w.field("store_hits", cache.store_hits);
+      w.field("store_errors", cache.store_errors);
+      w.field("prefix_hits", cache.prefix_hits);
+      w.field("prefix_misses", cache.prefix_misses);
+      w.field("insertions", cache.insertions);
+      w.field("evictions", cache.evictions);
+      w.end_object();
+    }
     w.end_object();
     if (!JsonWriter::write_output(perf_path, w.str() + "\n")) return 1;
   }

@@ -1,0 +1,143 @@
+#include "cpg/canonical.hpp"
+
+#include "cpg/cpg.hpp"
+
+namespace cps {
+namespace {
+
+// Little-endian fixed-width writers: explicit shifts, never memcpy of
+// host-order integers, so the bytes match on any platform.
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v));
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+// Optional ids encode as value+1 with 0 meaning "absent" — unambiguous
+// because the widened width can always hold max_id + 1.
+void put_opt_u32(std::string& out, const std::optional<CondId>& v) {
+  put_u32(out, v ? static_cast<std::uint32_t>(*v) + 1 : 0);
+}
+
+void put_dnf(std::string& out, const Dnf& d) {
+  // Dnf keeps its cubes sorted and normalized and Cube::for_each visits
+  // literals in condition order, so the traversal is already canonical.
+  put_u32(out, static_cast<std::uint32_t>(d.cubes().size()));
+  for (const Cube& cube : d.cubes()) {
+    put_u32(out, static_cast<std::uint32_t>(cube.size()));
+    cube.for_each([&](Literal lit) {
+      put_u16(out, lit.cond);
+      put_u8(out, lit.value ? 1 : 0);
+    });
+  }
+}
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
+  constexpr std::uint64_t kPrime = 0x00000100000001b3ull;
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string Digest128::hex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int shift = 8 * (7 - (i % 8));
+    const auto byte = static_cast<unsigned>((word >> shift) & 0xff);
+    s[2 * i] = kDigits[byte >> 4];
+    s[2 * i + 1] = kDigits[byte & 0xf];
+  }
+  return s;
+}
+
+void canonical_encode(const Cpg& g, std::string& out) {
+  out.append("CPSCANON");
+  put_u32(out, 1);  // encoding version
+
+  // Architecture: everything that shapes the flat expansion or the
+  // schedule. PE speed is deliberately absent — execution times arrive
+  // pre-divided in Process::exec_time. Names never affect results.
+  const Architecture& arch = g.arch();
+  put_u32(out, static_cast<std::uint32_t>(arch.pe_count()));
+  for (PeId pe = 0; pe < arch.pe_count(); ++pe) {
+    const ProcessingElement& e = arch.pe(pe);
+    put_u8(out, static_cast<std::uint8_t>(e.kind));
+    put_u8(out, e.connects_all ? 1 : 0);
+  }
+  put_i64(out, arch.cond_broadcast_time());
+
+  put_u32(out, static_cast<std::uint32_t>(g.conditions().size()));
+
+  put_u32(out, static_cast<std::uint32_t>(g.process_count()));
+  for (const Process& p : g.processes()) {
+    put_u8(out, static_cast<std::uint8_t>(p.kind));
+    put_u16(out, p.mapping);
+    put_i64(out, p.exec_time);
+    put_opt_u32(out, p.computes);
+    put_u8(out, p.conjunction ? 1 : 0);
+    put_dnf(out, p.guard);
+  }
+
+  put_u32(out, static_cast<std::uint32_t>(g.edge_count()));
+  for (const CpgEdge& e : g.edges()) {
+    put_u32(out, e.src);
+    put_u32(out, e.dst);
+    put_i64(out, e.comm_time);
+    put_u32(out, e.bus ? static_cast<std::uint32_t>(*e.bus) + 1 : 0);
+    if (e.literal) {
+      put_u8(out, 1);
+      put_u16(out, e.literal->cond);
+      put_u8(out, e.literal->value ? 1 : 0);
+    } else {
+      put_u8(out, 0);
+    }
+  }
+
+  put_u32(out, g.source());
+  put_u32(out, g.sink());
+  for (CondId c = 0; c < g.conditions().size(); ++c) {
+    put_u32(out, g.disjunction_of(c));
+  }
+}
+
+std::string canonical_encoding(const Cpg& g) {
+  std::string out;
+  canonical_encode(g, out);
+  return out;
+}
+
+Digest128 digest_of(std::string_view bytes) {
+  // Two independently seeded FNV-1a-64 lanes. Collision resistance is a
+  // performance concern only: every consumer re-verifies the full
+  // encoding before trusting an entry.
+  return Digest128{fnv1a(bytes, 0xcbf29ce484222325ull),
+                   fnv1a(bytes, 0x9e3779b97f4a7c15ull)};
+}
+
+}  // namespace cps

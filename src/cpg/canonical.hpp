@@ -1,0 +1,61 @@
+// Canonical CPG encoding + content digest.
+//
+// A cross-process, cross-restart cache needs a graph identity that is a
+// pure function of the model — not of heap addresses, construction order
+// or the process-local FlatGraph::uid() counter. `canonical_encoding`
+// serializes everything that determines a co-synthesis result for a given
+// Cpg: the architecture (PE kinds, broadcast topology, τ0), the condition
+// count, every process (mapping, exec time, guard DNF, conjunction flag,
+// computed condition) and every edge (endpoints, comm time, bus, literal),
+// plus the source/sink poles and the condition→disjunction map. All
+// integers are written little-endian at fixed width, names are excluded
+// (they never affect schedules), and iteration follows id order — so the
+// bytes are identical across processes, platforms and compilers.
+//
+// `Digest128` condenses the encoding to a 128-bit content hash used for
+// store filenames and fast map lookups. The digest is NOT trusted on its
+// own: cache entries retain the full encoding and every hit re-verifies it
+// byte-for-byte, so a hash collision is impossible to act on (it merely
+// degrades to a miss).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cps {
+
+class Cpg;
+
+/// 128-bit content digest (two independently seeded FNV-1a-64 lanes).
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex characters, hi lane first. Stable across platforms;
+  /// used as the on-disk store key.
+  std::string hex() const;
+
+  friend bool operator==(const Digest128& a, const Digest128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Digest128& a, const Digest128& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Digest128& a, const Digest128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+/// Append the canonical byte encoding of `g` (architecture + processes +
+/// edges + condition structure) to `out`.
+void canonical_encode(const Cpg& g, std::string& out);
+
+/// Convenience: the canonical encoding as a fresh string.
+std::string canonical_encoding(const Cpg& g);
+
+/// Content digest of arbitrary bytes (the canonical encoding, or a cache
+/// key encoding that embeds it).
+Digest128 digest_of(std::string_view bytes);
+
+}  // namespace cps

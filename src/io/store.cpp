@@ -1,0 +1,193 @@
+#include "io/store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace cps {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'P', 'S', 'S', 'T', 'O', 'R', 'E'};
+constexpr char kEntrySuffix[] = ".entry";
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const std::string& in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::string& in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x00000100000001b3ull;
+  }
+  return h;
+}
+
+// Header: magic(8) | version(4) | payload_len(8) | checksum(8).
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+bool valid_key(const std::string& key) {
+  if (key.size() < 2) return false;
+  for (char c : key) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+KeyStore::KeyStore(KeyStoreOptions options) : options_(std::move(options)) {
+  CPS_REQUIRE(!options_.root.empty(), "KeyStore requires a root directory");
+  fs::create_directories(options_.root);
+}
+
+std::string KeyStore::path_of(const std::string& key) const {
+  CPS_REQUIRE(valid_key(key),
+              "KeyStore keys are lowercase-hex strings of >= 2 chars");
+  return (fs::path(options_.root) / key.substr(0, 2) / (key + kEntrySuffix))
+      .string();
+}
+
+std::size_t KeyStore::put(const std::string& key, std::string_view payload) {
+  const fs::path dest = path_of(key);
+  fs::create_directories(dest.parent_path());
+
+  std::string blob;
+  blob.reserve(kHeaderBytes + payload.size());
+  blob.append(kMagic, sizeof(kMagic));
+  put_u32(blob, kFormatVersion);
+  put_u64(blob, payload.size());
+  put_u64(blob, fnv1a(payload));
+  blob.append(payload);
+
+  // Unique temp name in the destination directory (rename across
+  // directories would not be atomic), then swap in.
+  const std::uint64_t seq = temp_seq_.fetch_add(1);
+  const fs::path tmp =
+      dest.parent_path() / (key + ".tmp." + std::to_string(::getpid()) + "." +
+                            std::to_string(seq));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      std::error_code ignored;
+      fs::remove(tmp, ignored);
+      throw InternalError("KeyStore: failed to write " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, dest, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    throw InternalError("KeyStore: rename to " + dest.string() +
+                        " failed: " + ec.message());
+  }
+
+  // Deterministic bound: survivors are always the max_entries smallest
+  // keys, independent of insertion order (a large new key may evict
+  // itself — acceptable, the property is what tests rely on).
+  std::size_t evicted = 0;
+  if (options_.max_entries != 0) {
+    std::vector<std::string> all = keys();
+    while (all.size() > options_.max_entries) {
+      if (erase(all.back())) ++evicted;
+      all.pop_back();
+    }
+  }
+  return evicted;
+}
+
+std::optional<std::string> KeyStore::get(const std::string& key) const {
+  const fs::path entry = path_of(key);
+  std::ifstream in(entry, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (blob.size() < kHeaderBytes) {
+    throw StoreCorruptError("store entry truncated below header: " +
+                            entry.string());
+  }
+  if (blob.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    throw StoreCorruptError("store entry has bad magic: " + entry.string());
+  }
+  const std::uint32_t version = get_u32(blob, 8);
+  if (version != kFormatVersion) {
+    throw StoreCorruptError("store entry version " + std::to_string(version) +
+                            " != " + std::to_string(kFormatVersion) + ": " +
+                            entry.string());
+  }
+  const std::uint64_t len = get_u64(blob, 12);
+  if (blob.size() != kHeaderBytes + len) {
+    throw StoreCorruptError("store entry length mismatch: " + entry.string());
+  }
+  std::string payload = blob.substr(kHeaderBytes);
+  if (fnv1a(payload) != get_u64(blob, 20)) {
+    throw StoreCorruptError("store entry checksum mismatch: " +
+                            entry.string());
+  }
+  return payload;
+}
+
+bool KeyStore::erase(const std::string& key) {
+  std::error_code ec;
+  return fs::remove(path_of(key), ec);
+}
+
+std::vector<std::string> KeyStore::keys() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (fs::directory_iterator dir(options_.root, ec);
+       !ec && dir != fs::directory_iterator(); ++dir) {
+    if (!dir->is_directory()) continue;
+    for (fs::directory_iterator it(dir->path(), ec);
+         !ec && it != fs::directory_iterator(); ++it) {
+      std::string name = it->path().filename().string();
+      const std::size_t suffix = sizeof(kEntrySuffix) - 1;
+      if (name.size() <= suffix ||
+          name.compare(name.size() - suffix, suffix, kEntrySuffix) != 0) {
+        continue;  // temp files and strangers are not entries
+      }
+      name.resize(name.size() - suffix);
+      if (valid_key(name)) out.push_back(std::move(name));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cps

@@ -1,0 +1,79 @@
+// KeyStore: a hierarchical keyed on-disk store with atomic swap-in.
+//
+// The persistent tier of the schedule cache (and anything else that wants
+// restart-surviving, cross-process blobs). Design follows the hierarchical
+// key-database idiom (libelektra): entries live under
+// `root/<first-two-hex-chars>/<key>.entry` so huge stores do not pile a
+// million files into one directory; writers publish by writing a unique
+// temp file in the final directory and atomically renaming it over the
+// destination, so readers (and concurrent writers in other processes)
+// never observe a half-written entry — the last rename wins, and with
+// content-addressed keys both writers carried identical bytes anyway.
+//
+// Every entry is framed with a magic, a format version and an FNV-1a-64
+// payload checksum; `get` validates all three plus the recorded length and
+// throws StoreCorruptError (ErrorCode::kStoreCorrupt) on any mismatch, so
+// callers can degrade gracefully (the schedule cache counts the error and
+// treats it as a miss) instead of consuming garbage.
+//
+// Capacity is bounded deterministically, mirroring CoverCache's "no LRU
+// luck" policy: after a put pushes the store past max_entries, the
+// lexicographically largest keys are deleted until the bound holds again —
+// the surviving set is a pure function of the key set, never of insertion
+// or access order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cps {
+
+struct KeyStoreOptions {
+  /// Root directory (created, along with parents, by the constructor).
+  std::string root;
+  /// Entry-count bound enforced after every put; 0 = unbounded.
+  std::size_t max_entries = 4096;
+};
+
+class KeyStore {
+ public:
+  /// On-disk entry format version; bumped on incompatible layout changes.
+  /// Entries written by another version are rejected as corrupt.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  explicit KeyStore(KeyStoreOptions options);
+
+  const std::string& root() const { return options_.root; }
+
+  /// Atomically publish `payload` under `key`, replacing any previous
+  /// entry, then enforce the entry bound. Keys must be lowercase-hex
+  /// strings of at least two characters (Digest128::hex() qualifies).
+  /// Returns the number of entries evicted by the bound.
+  std::size_t put(const std::string& key, std::string_view payload);
+
+  /// Load and validate the entry for `key`. Returns nullopt when absent;
+  /// throws StoreCorruptError when present but invalid (bad magic, wrong
+  /// version, truncated, checksum mismatch).
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// Remove the entry for `key`; returns whether one existed.
+  bool erase(const std::string& key);
+
+  /// All keys currently present, sorted ascending.
+  std::vector<std::string> keys() const;
+
+  std::size_t size() const { return keys().size(); }
+
+ private:
+  std::string path_of(const std::string& key) const;
+
+  KeyStoreOptions options_;
+  /// Disambiguates temp files within this process (pid handles across).
+  std::atomic<std::uint64_t> temp_seq_{0};
+};
+
+}  // namespace cps

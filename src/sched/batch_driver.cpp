@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
+#include "io/table_csv.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 #include "support/json.hpp"
@@ -110,12 +112,14 @@ void write_batch_item_json(JsonWriter& w, const BatchItem& item,
   w.field("speculative_hits", item.merge.speculative_hits);
   w.field("speculative_misses", item.merge.speculative_misses);
   w.end_object();
-  w.key("cover_cache").begin_object();
-  w.field("hits", item.cover_cache.hits);
-  w.field("misses", item.cover_cache.misses);
-  w.field("entries", item.cover_cache.entries);
-  w.field("resets", item.cover_cache.resets);
-  w.end_object();
+  if (options.include_resume_counters) {
+    w.key("cover_cache").begin_object();
+    w.field("hits", item.cover_cache.hits);
+    w.field("misses", item.cover_cache.misses);
+    w.field("entries", item.cover_cache.entries);
+    w.field("resets", item.cover_cache.resets);
+    w.end_object();
+  }
   if (options.include_reuse_counters) {
     w.key("workspace").begin_object();
     w.field("runs", item.workspace.runs);
@@ -126,11 +130,13 @@ void write_batch_item_json(JsonWriter& w, const BatchItem& item,
     w.field("resumed_steps", item.workspace.resumed_steps);
     w.end_object();
   }
-  w.key("path_tree").begin_object();
-  w.field("prefix_resumes", item.tree.prefix_resumes);
-  w.field("resumed_steps", item.tree.resumed_steps);
-  w.field("subtrees_parallel", item.tree.subtrees_parallel);
-  w.end_object();
+  if (options.include_resume_counters) {
+    w.key("path_tree").begin_object();
+    w.field("prefix_resumes", item.tree.prefix_resumes);
+    w.field("resumed_steps", item.tree.resumed_steps);
+    w.field("subtrees_parallel", item.tree.subtrees_parallel);
+    w.end_object();
+  }
   if (options.include_timing) {
     w.key("timing_ms").begin_object();
     w.field("expand", item.expand_ms);
@@ -164,16 +170,187 @@ std::uint64_t retry_backoff_ms(std::uint64_t seed, std::size_t attempt) {
   return std::min<std::uint64_t>(shifted, 8);
 }
 
+// ---- Schedule-cache exact tier: key encoding + payload codec ----------
+//
+// The exact key is the canonical graph encoding followed by every option
+// field that affects a *serialized item*: not just the schedule/table
+// (priority policy, engine, merge order, seeds, path budget) but also
+// counter-shaping knobs (merge execution mode decides the speculative
+// counters; the decomposition target decides PathTreeStats). Interrupt
+// limits (deadline, step budget, cancel) are deliberately absent — a
+// tripped item is never ok, and only ok items are cached. Index and seed
+// are absent too: that is the point of content addressing — the same
+// graph requested under a different index replays the same result.
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t read_u64(std::string_view in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string exact_key_encoding(const Cpg& g,
+                               const CoSynthesisOptions& synthesis) {
+  std::string key = canonical_encoding(g);
+  key.append("OPT1");
+  const auto u8 = [&key](std::uint8_t v) {
+    key.push_back(static_cast<char>(v));
+  };
+  u8(static_cast<std::uint8_t>(synthesis.path_priority));
+  u8(static_cast<std::uint8_t>(synthesis.merge.selection));
+  u8(static_cast<std::uint8_t>(synthesis.merge.ready));
+  u8(static_cast<std::uint8_t>(synthesis.merge.execution));
+  u8(static_cast<std::uint8_t>(synthesis.merge.resume));
+  u8(synthesis.merge.trace ? 1 : 0);
+  u8(synthesis.validate ? 1 : 0);
+  u8(static_cast<std::uint8_t>(synthesis.on_budget));
+  u8(static_cast<std::uint8_t>(synthesis.path_scheduling));
+  append_u64(key, synthesis.merge.random_seed);
+  append_u64(key, effective_max_paths(synthesis));
+  append_u64(key, synthesis.subtree_frontier);
+  append_u64(key, synthesis.schedule_threads);
+  return key;
+}
+
+// Payload: every result field of an ok BatchItem (doubles as IEEE bit
+// patterns for exact round-trips) plus the rendered CSV. Identity fields
+// (index, seed) and attempt/timing fields are excluded — the former come
+// from the replaying request, the latter are wall-clock.
+constexpr std::uint64_t kPayloadVersion = 1;
+
+std::string encode_cached_item(const BatchItem& item, std::string_view csv) {
+  std::string out;
+  append_u64(out, kPayloadVersion);
+  out.push_back(static_cast<char>(item.code));
+  const auto bits = [&out](double d) {
+    std::uint64_t b;
+    static_assert(sizeof(b) == sizeof(d), "IEEE-754 double expected");
+    std::memcpy(&b, &d, sizeof(b));
+    append_u64(out, b);
+  };
+  bits(item.coverage);
+  append_u64(out, item.total_leaves);
+  append_u64(out, item.processes);
+  append_u64(out, item.tasks);
+  append_u64(out, item.conditions);
+  append_u64(out, item.paths);
+  append_u64(out, item.table_entries);
+  append_u64(out, static_cast<std::uint64_t>(item.delta_m));
+  append_u64(out, static_cast<std::uint64_t>(item.delta_max));
+  bits(item.increase_percent);
+  append_u64(out, item.merge.backsteps);
+  append_u64(out, item.merge.adjustments);
+  append_u64(out, item.merge.locks);
+  append_u64(out, item.merge.conflicts);
+  append_u64(out, item.merge.conflict_moves);
+  append_u64(out, item.merge.unresolved_conflicts);
+  append_u64(out, item.merge.relaxed_locks);
+  append_u64(out, item.merge.column_clashes);
+  append_u64(out, item.merge.speculative_hits);
+  append_u64(out, item.merge.speculative_misses);
+  append_u64(out, item.cover_cache.hits);
+  append_u64(out, item.cover_cache.misses);
+  append_u64(out, item.cover_cache.entries);
+  append_u64(out, item.cover_cache.resets);
+  append_u64(out, item.workspace.runs);
+  append_u64(out, item.workspace.reuse_hits);
+  append_u64(out, item.workspace.resumes);
+  append_u64(out, item.workspace.full_reuses);
+  append_u64(out, item.workspace.from_scratch);
+  append_u64(out, item.workspace.resumed_steps);
+  append_u64(out, item.workspace.checkpoints);
+  append_u64(out, item.tree.prefix_resumes);
+  append_u64(out, item.tree.resumed_steps);
+  append_u64(out, item.tree.subtrees_parallel);
+  append_u64(out, csv.size());
+  out.append(csv);
+  return out;
+}
+
+bool decode_cached_item(std::string_view in, BatchItem* item,
+                        std::string* csv) {
+  // 1 code byte + 35 u64 fields (version, 33 scalars, csv length).
+  constexpr std::size_t kFixed = 1 + 35 * 8;
+  if (in.size() < kFixed || read_u64(in, 0) != kPayloadVersion) return false;
+  std::size_t at = 8;
+  item->code = static_cast<ErrorCode>(static_cast<unsigned char>(in[at]));
+  at += 1;
+  const auto u64 = [&] {
+    const std::uint64_t v = read_u64(in, at);
+    at += 8;
+    return v;
+  };
+  const auto dbl = [&] {
+    const std::uint64_t b = u64();
+    double d;
+    std::memcpy(&d, &b, sizeof(d));
+    return d;
+  };
+  item->ok = true;
+  item->coverage = dbl();
+  item->total_leaves = u64();
+  item->processes = u64();
+  item->tasks = u64();
+  item->conditions = u64();
+  item->paths = u64();
+  item->table_entries = u64();
+  item->delta_m = static_cast<Time>(u64());
+  item->delta_max = static_cast<Time>(u64());
+  item->increase_percent = dbl();
+  item->merge.backsteps = u64();
+  item->merge.adjustments = u64();
+  item->merge.locks = u64();
+  item->merge.conflicts = u64();
+  item->merge.conflict_moves = u64();
+  item->merge.unresolved_conflicts = u64();
+  item->merge.relaxed_locks = u64();
+  item->merge.column_clashes = u64();
+  item->merge.speculative_hits = u64();
+  item->merge.speculative_misses = u64();
+  item->cover_cache.hits = u64();
+  item->cover_cache.misses = u64();
+  item->cover_cache.entries = u64();
+  item->cover_cache.resets = u64();
+  item->workspace.runs = u64();
+  item->workspace.reuse_hits = u64();
+  item->workspace.resumes = u64();
+  item->workspace.full_reuses = u64();
+  item->workspace.from_scratch = u64();
+  item->workspace.resumed_steps = u64();
+  item->workspace.checkpoints = u64();
+  item->tree.prefix_resumes = u64();
+  item->tree.resumed_steps = u64();
+  item->tree.subtrees_parallel = u64();
+  const std::uint64_t csv_len = u64();
+  if (in.size() - at != csv_len) return false;
+  csv->assign(in.substr(at));
+  return true;
+}
+
 }  // namespace
 
 BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
                          ThreadPool* runtime) {
-  return run_batch_item(config, index, runtime, nullptr);
+  return run_batch_item(config, index, runtime, nullptr, nullptr);
 }
 
 BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
                          ThreadPool* runtime,
                          const BatchItemObserver& observe) {
+  return run_batch_item(config, index, runtime, observe, nullptr);
+}
+
+BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
+                         ThreadPool* runtime, const BatchItemObserver& observe,
+                         std::string* table_csv) {
   BatchItem item;
   item.index = index;
   item.seed = config.base_seed + index;
@@ -223,9 +400,37 @@ BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
       synthesis.schedule_pool = runtime;
       synthesis.keep_paths = false;
       synthesis.budget = own_budget ? &budget : nullptr;
+      synthesis.schedule_cache = config.cache;
       if (synthesis.subtree_frontier == 0) {
         synthesis.subtree_frontier = kBatchSubtreeFrontier;
       }
+
+      // Exact-tier lookup: the key is the canonical graph encoding plus
+      // the post-override options (what actually runs), so a hit replays
+      // the recorded item + CSV without touching the engine. The cache
+      // verifies the full key encoding byte-for-byte — a digest collision
+      // degrades to a miss, never to a wrong result.
+      std::string cache_key;
+      Digest128 cache_digest;
+      if (config.cache != nullptr) {
+        cache_key = exact_key_encoding(g, synthesis);
+        cache_digest = digest_of(cache_key);
+        std::string payload;
+        if (config.cache->lookup(cache_digest, cache_key, &payload)) {
+          std::string csv;
+          BatchItem cached;
+          if (decode_cached_item(payload, &cached, &csv)) {
+            cached.index = item.index;
+            cached.seed = item.seed;
+            cached.attempts = item.attempts;
+            if (table_csv != nullptr) *table_csv = std::move(csv);
+            cached.total_ms = ms_between(t_begin, clock_type::now());
+            return cached;
+          }
+          // Undecodable payload (foreign writer?): recompute and replace.
+        }
+      }
+
       const CoSynthesisResult result = schedule_cpg(g, synthesis);
 
       item.ok = true;
@@ -250,6 +455,18 @@ BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
       item.schedule_ms = result.timings.schedule_ms;
       item.merge_ms = result.timings.merge_ms;
       item.validate_ms = result.timings.validate_ms;
+      // Render the CSV while the table is alive. Cached payloads always
+      // carry it (a later request for the same graph may ask for CSV even
+      // though this one did not); ~tens of bytes per table entry.
+      std::string csv;
+      if (config.cache != nullptr || table_csv != nullptr) {
+        csv = table_csv_string(result.table);
+      }
+      if (config.cache != nullptr) {
+        config.cache->insert(cache_digest, cache_key,
+                             encode_cached_item(item, csv));
+      }
+      if (table_csv != nullptr) *table_csv = std::move(csv);
       // While `g`/`arch` are alive: the result's FlatGraph points at them.
       if (observe) observe(result);
       break;
@@ -321,6 +538,10 @@ BatchResult run_batch(const BatchConfig& config) {
     }
   }
   result.summary.wall_ms = ms_between(t_begin, clock_type::now());
+  if (config.cache != nullptr) {
+    result.summary.cache_enabled = true;
+    result.summary.cache = config.cache->stats();
+  }
 
   for (const BatchItem& item : result.items) {
     add_item_stats(result.summary, item);
@@ -393,6 +614,13 @@ std::string batch_result_to_json(const BatchResult& result,
     w.field("cancelled_tasks", s.pool.cancelled_tasks);
     w.field("dropped_errors", s.pool.dropped_errors);
     w.end_object();
+    // Schedule-cache counters ride the same gate: deterministic for an
+    // isolated batch, but a shared (daemon) cache carries earlier traffic.
+    if (s.cache_enabled) {
+      w.key("cache").begin_object();
+      write_cache_stats_json(w, s.cache);
+      w.end_object();
+    }
   }
   w.end_object();
 

@@ -63,6 +63,18 @@ struct BatchConfig {
   /// BatchJsonOptions::include_reuse_counters off when comparing such
   /// runs byte-for-byte.
   CoSynthesisOptions synthesis;
+  /// Optional content-addressed schedule cache shared across items,
+  /// batches and (via its persistent tier) processes — non-owning,
+  /// thread-safe, must outlive the call. Exact tier: an item whose graph
+  /// + result-affecting options were co-synthesized before replays the
+  /// recorded result (and CSV) without touching the engine. Prefix tier:
+  /// the driver seeds EngineHistory resume chains (see
+  /// CoSynthesisOptions::schedule_cache, which this populates). Results
+  /// are byte-identical with or without a cache; resume-class counters
+  /// (cover_cache/workspace/path_tree) reflect cache state — serialize
+  /// with BatchJsonOptions::include_resume_counters off when comparing a
+  /// warm-cache run against a cold oracle byte-for-byte.
+  ScheduleCache* cache = nullptr;
 };
 
 /// Outcome of one co-synthesized graph. All non-timing fields are a pure
@@ -153,6 +165,12 @@ struct BatchSummary {
   /// timing-dependent (which worker stole what is a legitimate race), so
   /// the JSON writer gates them behind include_timing.
   PoolStats pool;
+  /// Snapshot of BatchConfig::cache at batch end (zero when none). Gated
+  /// behind include_timing the same way PoolStats are: the counters are a
+  /// pure function of the request set for one batch, but on a shared
+  /// (daemon) cache they accumulate whatever earlier traffic left behind.
+  ScheduleCacheStats cache;
+  bool cache_enabled = false;
 };
 
 struct BatchResult {
@@ -180,6 +198,16 @@ BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
                          ThreadPool* runtime,
                          const BatchItemObserver& observe);
 
+/// Like the observer overload, but additionally returns the schedule-table
+/// CSV through `table_csv` (ignored when nullptr, left empty for failed
+/// items). This is the cache-transparent way to get the CSV: an exact
+/// cache hit replays the *recorded* CSV bytes — the observer, which needs
+/// a live CoSynthesisResult, is NOT called on a hit (the engine never
+/// ran). The service uses this overload for its table_csv responses.
+BatchItem run_batch_item(const BatchConfig& config, std::size_t index,
+                         ThreadPool* runtime, const BatchItemObserver& observe,
+                         std::string* table_csv);
+
 /// Run the whole batch on the configured thread pool. Per-item failures
 /// (generation or validation errors) are captured in the item, not thrown.
 BatchResult run_batch(const BatchConfig& config);
@@ -196,6 +224,13 @@ struct BatchJsonOptions {
   /// warm-lease luck — disable when comparing a pooled run against a
   /// cold oracle byte-for-byte (the service's determinism contract).
   bool include_reuse_counters = true;
+  /// Include the per-item cover_cache and path_tree blocks. Pure
+  /// functions of the seed for isolated items, but with a shared
+  /// ScheduleCache the prefix tier seeds resume chains across requests —
+  /// the same prefix-luck class as pooled workspace counters. The serve
+  /// protocol serializes with this off so a response stays a pure
+  /// function of (index, request options) regardless of cache state.
+  bool include_resume_counters = true;
   /// Spaces per indentation level (0 = compact).
   int indent = 2;
 };

@@ -217,8 +217,15 @@ struct EngineHistory {
   /// different lock set arrived, so reruns happen here and recording pays.
   bool record = false;
 
-  // Identity of the recorded request (everything but the locks).
-  std::uint64_t graph_uid = 0;
+  // Identity of the recorded request (everything but the locks). The
+  // graph is identified by its canonical *content* digest, not the
+  // process-local uid: histories may cross requests — and, via the
+  // schedule cache's prefix tier, processes — so "same graph" must mean
+  // "same model". Safe because a history never holds pointers into the
+  // graph (unlike EngineWorkspace's address-keyed cover cache, which
+  // stays uid-bound) and the engine verifies task_count/label/active/
+  // priority content before resuming.
+  Digest128 graph_digest;
   std::size_t task_count = 0;
   Cube label;
   std::vector<bool> active;

@@ -34,8 +34,57 @@ double percentile(const std::vector<double>& sorted, double q) {
 /// the end (threads never share counters while driving load).
 struct ThreadTally {
   std::vector<double> latencies_ms;
+  std::vector<double> cold_ms;    ///< first occurrence of an index
+  std::vector<double> repeat_ms;  ///< re-issued index (cache-hit candidate)
   LoadGenResult counts;  // only the std::size_t counters are used
 };
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits of a hash.
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Deterministic per-ordinal request plan: which workload index each
+/// ordinal asks for and whether that is a repeat of an earlier ordinal's
+/// index. Pure function of the config — every thread (and every rerun)
+/// derives the identical plan, so the cold/repeat split never depends on
+/// arrival order.
+struct RequestPlan {
+  std::vector<std::uint64_t> index;  ///< workload index per ordinal
+  std::vector<char> repeat;          ///< 1 = re-issues an earlier index
+  std::size_t unique = 0;
+};
+
+RequestPlan plan_requests(const LoadGenConfig& config) {
+  RequestPlan plan;
+  plan.index.resize(config.requests);
+  plan.repeat.assign(config.requests, 0);
+  std::uint64_t unique = 0;
+  for (std::size_t o = 0; o < config.requests; ++o) {
+    const std::uint64_t h =
+        splitmix64(config.repeat_seed ^ (0x632be59bd9b4e019ull + o));
+    if (unique > 0 && unit(h) < config.repeat_frac) {
+      // Zipf-ish popularity: squaring the uniform draw piles repeats onto
+      // the lowest (earliest-issued) ranks.
+      const double v = unit(splitmix64(h));
+      const auto rank = static_cast<std::uint64_t>(
+          v * v * static_cast<double>(unique));
+      plan.index[o] = config.first_id + std::min(rank, unique - 1);
+      plan.repeat[o] = 1;
+    } else {
+      plan.index[o] = config.first_id + unique++;
+    }
+  }
+  plan.unique = unique;
+  return plan;
+}
 
 /// Classify one response payload into the tally (and optionally retain
 /// it). Returns the parsed request id when available.
@@ -71,6 +120,21 @@ LoadGenResult run_loadgen(const LoadGenConfig& config) {
   const std::size_t connections =
       std::max<std::size_t>(1, std::min(config.connections, config.requests));
   std::vector<ThreadTally> tallies(connections);
+  // With repeat_frac = 0 the plan is the identity (index i for ordinal i)
+  // and the index stays implicit in the request, exactly as before.
+  const bool planned = config.repeat_frac > 0.0;
+  const RequestPlan plan = plan_requests(config);
+  const auto index_of = [&](std::size_t ordinal) {
+    return planned ? std::optional<std::uint64_t>(plan.index[ordinal])
+                   : std::nullopt;
+  };
+  const auto record_latency = [&](ThreadTally& tally, std::size_t ordinal,
+                                  double ms) {
+    tally.latencies_ms.push_back(ms);
+    if (!planned || ordinal >= plan.repeat.size()) return;
+    (plan.repeat[ordinal] != 0 ? tally.repeat_ms : tally.cold_ms)
+        .push_back(ms);
+  };
   const auto t_begin = clock_type::now();
 
   // Closed loop pulls the next ordinal from a shared counter (whichever
@@ -87,7 +151,7 @@ LoadGenResult run_loadgen(const LoadGenConfig& config) {
         const std::size_t ordinal = next_ordinal.fetch_add(1);
         if (ordinal >= config.requests) return;
         const std::uint64_t id = config.first_id + ordinal;
-        if (!client.send_run(id, std::nullopt, config.deadline_ms)) {
+        if (!client.send_run(id, index_of(ordinal), config.deadline_ms)) {
           ++tally.counts.disconnected;
           return;
         }
@@ -102,7 +166,7 @@ LoadGenResult run_loadgen(const LoadGenConfig& config) {
           }
           return;
         }
-        tally.latencies_ms.push_back(ms_between(t0, clock_type::now()));
+        record_latency(tally, ordinal, ms_between(t0, clock_type::now()));
         classify(*response, config.keep_payloads, tally);
       }
     } catch (const std::exception&) {
@@ -134,8 +198,9 @@ LoadGenResult run_loadgen(const LoadGenConfig& config) {
         }
         const auto it = sent_at.find(id);
         if (it != sent_at.end()) {
-          tally.latencies_ms.push_back(
-              ms_between(it->second, clock_type::now()));
+          record_latency(tally,
+                         static_cast<std::size_t>(id - config.first_id),
+                         ms_between(it->second, clock_type::now()));
           sent_at.erase(it);
         }
         classify(*response, config.keep_payloads, tally);
@@ -153,7 +218,9 @@ LoadGenResult run_loadgen(const LoadGenConfig& config) {
         if (!client.connected()) break;
         const std::uint64_t id = config.first_id + ordinal;
         sent_at[id] = clock_type::now();
-        if (!client.send_run(id, std::nullopt, config.deadline_ms)) break;
+        if (!client.send_run(id, index_of(ordinal), config.deadline_ms)) {
+          break;
+        }
         ++tally.counts.sent;
       }
       // Collect stragglers until everything sent is answered or the
@@ -186,7 +253,11 @@ LoadGenResult run_loadgen(const LoadGenConfig& config) {
   for (std::thread& t : threads) t.join();
 
   LoadGenResult result;
+  result.unique_indices = plan.unique;
+  result.repeats_planned = config.requests - plan.unique;
   std::vector<double> all_latencies;
+  std::vector<double> cold_latencies;
+  std::vector<double> repeat_latencies;
   for (ThreadTally& tally : tallies) {
     result.sent += tally.counts.sent;
     result.responses += tally.counts.responses;
@@ -199,16 +270,30 @@ LoadGenResult run_loadgen(const LoadGenConfig& config) {
     result.recv_timeouts += tally.counts.recv_timeouts;
     all_latencies.insert(all_latencies.end(), tally.latencies_ms.begin(),
                          tally.latencies_ms.end());
+    cold_latencies.insert(cold_latencies.end(), tally.cold_ms.begin(),
+                          tally.cold_ms.end());
+    repeat_latencies.insert(repeat_latencies.end(), tally.repeat_ms.begin(),
+                            tally.repeat_ms.end());
     for (auto& kv : tally.counts.payloads) {
       result.payloads.push_back(std::move(kv));
     }
   }
   std::sort(all_latencies.begin(), all_latencies.end());
+  std::sort(cold_latencies.begin(), cold_latencies.end());
+  std::sort(repeat_latencies.begin(), repeat_latencies.end());
   result.p50_ms = percentile(all_latencies, 0.50);
   result.p99_ms = percentile(all_latencies, 0.99);
   result.p999_ms = percentile(all_latencies, 0.999);
+  result.cold_p50_ms = percentile(cold_latencies, 0.50);
+  result.cold_p99_ms = percentile(cold_latencies, 0.99);
+  result.repeat_p50_ms = percentile(repeat_latencies, 0.50);
+  result.repeat_p99_ms = percentile(repeat_latencies, 0.99);
   result.wall_ms = ms_between(t_begin, clock_type::now());
   return result;
+}
+
+std::vector<std::uint64_t> loadgen_plan_indices(const LoadGenConfig& config) {
+  return plan_requests(config).index;
 }
 
 }  // namespace cps

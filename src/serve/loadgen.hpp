@@ -46,6 +46,16 @@ struct LoadGenConfig {
   /// Treat a dropped connection as expected (mid-stream SIGTERM smoke):
   /// remaining requests are counted as disconnected, not errors.
   bool tolerate_disconnect = false;
+  /// Fraction of requests (after the first) that RE-ISSUE an earlier
+  /// workload index instead of a fresh one — the repeat-heavy discipline
+  /// that exercises the daemon's schedule cache. Repeats pick among the
+  /// already-issued indices with a zipf-ish popularity bias (early
+  /// indices repeat most). 0 = every request unique (and, as before, the
+  /// index is left implicit so ids keep choosing items). The plan is a
+  /// pure function of (requests, repeat_frac, repeat_seed, first_id):
+  /// deterministic across runs, threads, and arrival order.
+  double repeat_frac = 0.0;
+  std::uint64_t repeat_seed = 1;
 };
 
 struct LoadGenResult {
@@ -62,11 +72,28 @@ struct LoadGenResult {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double p999_ms = 0.0;
+  /// Repeat-mode split (repeat_frac > 0): a request is "cold" when it is
+  /// the first occurrence of its workload index, "repeat" otherwise —
+  /// repeats are the daemon cache's exact-hit candidates. Counts are
+  /// planned sends; percentiles cover completed responses of each class.
+  std::size_t unique_indices = 0;
+  std::size_t repeats_planned = 0;
+  double cold_p50_ms = 0.0;
+  double cold_p99_ms = 0.0;
+  double repeat_p50_ms = 0.0;
+  double repeat_p99_ms = 0.0;
   /// (request id, response payload) pairs, unordered; filled only with
   /// keep_payloads. Sort by id before comparing to an oracle.
   std::vector<std::pair<std::uint64_t, std::string>> payloads;
 };
 
 LoadGenResult run_loadgen(const LoadGenConfig& config);
+
+/// The deterministic workload-index plan run_loadgen(config) will use:
+/// element o is the index requested by ordinal o (= id first_id + o).
+/// Exposed so harnesses can rebuild the id -> index mapping when oracle-
+/// verifying repeat-heavy runs. With repeat_frac = 0 this is the identity
+/// plan first_id + o.
+std::vector<std::uint64_t> loadgen_plan_indices(const LoadGenConfig& config);
 
 }  // namespace cps

@@ -5,7 +5,7 @@
 //
 // Request:
 //   {"id": 7,                // required; client-assigned, echoed back
-//    "op": "run",            // "run" (default) | "ping" | "shutdown"
+//    "op": "run",    // "run" (default) | "ping" | "shutdown" | "stats"
 //    "index": 7,             // workload item index; defaults to id
 //    "deadline_ms": 250.0,   // optional per-request deadline
 //    "max_steps": 100000,    // optional engine step budget
@@ -18,6 +18,8 @@
 //   {"id": null, "status": "parse_failed", "error"..}   // unparseable
 //   {"id": 3, "status": "ok", "draining": true}         // shutdown ack
 //   {"id": 9, "status": "ok", "pong": true, "stats"..}  // ping
+//   {"id": 4, "status": "ok", "server".., "cache"..,    // stats: cache +
+//    "workspace_pool".., "runtime"..}                   //  pool counters
 //
 // "item" is byte-for-byte the element run_batch's JSON would contain for
 // the same index (timing and workspace reuse counters omitted — see
@@ -42,7 +44,7 @@
 
 namespace cps {
 
-enum class RequestOp : std::uint8_t { kRun, kPing, kShutdown };
+enum class RequestOp : std::uint8_t { kRun, kPing, kShutdown, kStats };
 
 /// One parsed request frame. Optional fields keep a has_* flag so the
 /// server can distinguish "absent" from "explicit zero" (an explicit

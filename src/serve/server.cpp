@@ -6,7 +6,6 @@
 #include <cerrno>
 #include <cmath>
 
-#include "io/table_csv.hpp"
 #include "support/fault.hpp"
 #include "support/json.hpp"
 
@@ -26,6 +25,9 @@ double ms_until(clock_type::time_point deadline) {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
+      cache_(options_.enable_cache
+                 ? std::make_unique<ScheduleCache>(options_.cache)
+                 : nullptr),
       listener_(options_.socket_path, options_.listen_backlog),
       pool_(ThreadPool::resolve_threads(options_.threads)) {
   CPS_REQUIRE(options_.max_queue_depth > 0,
@@ -174,6 +176,9 @@ void Server::handle_frame(Conn& conn, const std::string& payload) {
     case RequestOp::kShutdown:
       send_response(conn, request.id, make_drain_response(request.id));
       begin_drain();
+      return;
+    case RequestOp::kStats:
+      send_response(conn, request.id, make_stats_response(request.id));
       return;
     case RequestOp::kRun: break;
   }
@@ -396,18 +401,16 @@ std::string Server::run_request(const Pending& p, bool* item_ok) {
     // Warm per-session workspaces; the shared_ptr in `p` keeps the pool
     // alive even if the connection died mid-run.
     config.synthesis.workspace_pool = p.session.get();
-    // The CSV must render inside the observer: the result references the
-    // attempt's generated graph and must not outlive run_batch_item.
+    // Daemon-wide schedule cache: exact hits replay recorded bytes
+    // (including the CSV, which is why the csv out-param overload is used
+    // instead of an observer — the engine never runs on a hit).
+    config.cache = cache_.get();
     std::string csv;
-    bool have_csv = false;
-    const BatchItemObserver render_csv = [&](const CoSynthesisResult& r) {
-      csv = table_csv_string(r.table);
-      have_csv = true;
-    };
-    const BatchItem item = run_batch_item(config, p.index, &pool_,
-                                          p.csv ? render_csv : nullptr);
+    const BatchItem item = run_batch_item(config, p.index, &pool_, nullptr,
+                                          p.csv ? &csv : nullptr);
     *item_ok = item.ok;
-    return make_item_response(p.id, item, have_csv ? &csv : nullptr);
+    return make_item_response(p.id, item,
+                              p.csv && item.ok ? &csv : nullptr);
   } catch (const std::exception& e) {
     // run_batch_item captures pipeline errors itself; this is the belt
     // for serialization/CSV failures — the request still gets a typed
@@ -508,6 +511,63 @@ std::string Server::make_pong_response(std::uint64_t id) {
   w.field("expired_queued", c.expired_queued);
   w.field("peak_queue_depth", c.peak_queue_depth);
   w.field("peak_inflight_bytes", c.peak_inflight_bytes);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string Server::make_stats_response(std::uint64_t id) {
+  // Built on the event-loop thread (like make_pong_response), so conns_
+  // is safe to walk for the per-session workspace-pool aggregate.
+  const ServerCounters c = stats();
+  JsonWriter w(0);
+  w.begin_object();
+  w.field("id", id);
+  w.field("status", "ok");
+  w.field("draining", draining_);
+  w.key("server").begin_object();
+  w.field("connections_accepted", c.connections_accepted);
+  w.field("requests_parsed", c.requests_parsed);
+  w.field("parse_failures", c.parse_failures);
+  w.field("admitted", c.admitted);
+  w.field("completed_ok", c.completed_ok);
+  w.field("completed_failed", c.completed_failed);
+  w.field("shed_overload", c.shed_overload);
+  w.field("rejected_draining", c.rejected_draining);
+  w.field("expired_queued", c.expired_queued);
+  w.field("injected_failures", c.injected_failures);
+  w.field("responses_sent", c.responses_sent);
+  w.field("orphaned_responses", c.orphaned_responses);
+  w.field("peak_queue_depth", c.peak_queue_depth);
+  w.field("peak_inflight_bytes", c.peak_inflight_bytes);
+  w.end_object();
+  w.field("cache_enabled", cache_ != nullptr);
+  w.key("cache").begin_object();
+  write_cache_stats_json(w, cache_ ? cache_->stats() : ScheduleCacheStats{});
+  w.end_object();
+  // Aggregate over the *live* sessions (dead connections drop their pool
+  // with their last in-flight request; history is not retained).
+  WorkspacePool::Stats ws;
+  for (const auto& entry : conns_) {
+    if (entry.second.session == nullptr) continue;
+    const WorkspacePool::Stats s = entry.second.session->stats();
+    ws.created += s.created;
+    ws.leases += s.leases;
+    ws.warm_hits += s.warm_hits;
+  }
+  w.key("workspace_pool").begin_object();
+  w.field("created", static_cast<std::uint64_t>(ws.created));
+  w.field("leases", static_cast<std::uint64_t>(ws.leases));
+  w.field("warm_hits", static_cast<std::uint64_t>(ws.warm_hits));
+  w.end_object();
+  const PoolStats rt = pool_.stats();
+  w.key("runtime").begin_object();
+  w.field("submitted", rt.submitted);
+  w.field("executed", rt.executed);
+  w.field("local_hits", rt.local_hits);
+  w.field("steals", rt.steals);
+  w.field("injected", rt.injected);
+  w.field("help_runs", rt.help_runs);
   w.end_object();
   w.end_object();
   return w.str();

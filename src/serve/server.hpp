@@ -90,8 +90,16 @@ struct ServerOptions {
   /// The workload definition: request index i co-synthesizes exactly
   /// run_batch_item(workload, i) (count is ignored; per-request budgets
   /// override deadline_ms/synthesis.budget per request). Shared with the
-  /// offline oracle and the bench load generator.
+  /// offline oracle and the bench load generator. workload.cache is
+  /// overwritten by the server with its own per-daemon cache (below).
   BatchConfig workload;
+  /// Per-daemon content-addressed schedule cache, shared across every
+  /// connection and request (thread-safe; see sched/schedule_cache.hpp).
+  /// Responses stay byte-identical with or without it — only latency and
+  /// the "stats" op's counters change. cache.store_dir persists the exact
+  /// tier across daemon restarts.
+  bool enable_cache = true;
+  ScheduleCacheOptions cache;
 };
 
 /// Monotonic counters (every value only grows). Snapshot via stats().
@@ -190,10 +198,15 @@ class Server {
   void send_to_conn_id(std::uint64_t conn_id, std::optional<std::uint64_t> id,
                        const std::string& payload);
   std::string make_pong_response(std::uint64_t id);
+  std::string make_stats_response(std::uint64_t id);
   int poll_timeout_ms() const;
   void reap_dead_conns();
 
   ServerOptions options_;
+  /// Daemon-wide schedule cache (null when disabled). Owned here, wired
+  /// into every request's BatchConfig by run_request; outlives the pool
+  /// (declaration order), so in-flight workers may touch it freely.
+  std::unique_ptr<ScheduleCache> cache_;
   UnixListener listener_;
   ThreadPool pool_;
   UnixFd wake_read_;

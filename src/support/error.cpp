@@ -18,6 +18,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kPathBudgetExceeded: return "path_budget_exceeded";
     case ErrorCode::kInjectedFault: return "injected_fault";
     case ErrorCode::kRejectedOverload: return "rejected_overload";
+    case ErrorCode::kStoreCorrupt: return "store_corrupt";
   }
   return "?";
 }

@@ -55,6 +55,11 @@ enum class ErrorCode : std::uint8_t {
   /// string, and so clients can distinguish "back off and retry" from
   /// every other failure.
   kRejectedOverload,
+  /// A persistent-store entry failed validation on load (bad magic,
+  /// version mismatch, truncation, checksum failure). The schedule cache
+  /// treats this as a miss and recomputes; it surfaces only to callers of
+  /// io/store directly.
+  kStoreCorrupt,
 };
 
 /// Stable snake_case name (used in JSON output and error messages).
@@ -129,6 +134,13 @@ class BudgetExceededError : public Error {
  public:
   BudgetExceededError(ErrorCode code, const std::string& what)
       : Error(code, what) {}
+};
+
+/// A persistent-store entry failed validation on load (io/store).
+class StoreCorruptError : public Error {
+ public:
+  explicit StoreCorruptError(const std::string& what)
+      : Error(ErrorCode::kStoreCorrupt, what) {}
 };
 
 /// The ErrorCode of any exception: Error subclasses report their own

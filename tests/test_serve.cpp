@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <csignal>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -491,6 +492,149 @@ TEST(Serve, FaultAcceptDropsOnlyTheFaultedConnection) {
   const std::optional<std::string> response = survivor.recv();
   ASSERT_TRUE(response.has_value());
   EXPECT_EQ(*response, oracle_payload(tiny_workload(), 1));
+}
+
+// ------------------------------------------------------- schedule cache
+
+std::string stats_request(std::uint64_t id) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.field("id", id);
+  w.field("op", "stats");
+  w.end_object();
+  return w.str();
+}
+
+// The "stats" op exposes the daemon's cache, per-session workspace-pool,
+// and runtime counters in one typed response.
+TEST(Serve, StatsOpReportsCacheAndPoolCounters) {
+  ServerHarness harness(tiny_options("stats"));
+  ServeClient client(harness.server().socket_path());
+
+  // Same index twice: the second run is an exact daemon-cache hit.
+  ASSERT_TRUE(client.send_run(0));
+  ASSERT_TRUE(client.recv().has_value());
+  ASSERT_TRUE(client.send_run(7, std::uint64_t{0}));
+  const std::optional<std::string> repeat = client.recv();
+  ASSERT_TRUE(repeat.has_value());
+
+  ASSERT_TRUE(client.send(stats_request(99)));
+  const std::optional<std::string> response = client.recv();
+  ASSERT_TRUE(response.has_value());
+  const JsonValue doc = JsonValue::parse(*response);
+  EXPECT_EQ(doc.at("id").as_number(), 99.0);
+  EXPECT_EQ(doc.at("status").as_string(), "ok");
+  EXPECT_TRUE(doc.at("cache_enabled").as_bool());
+  EXPECT_EQ(doc.at("cache").at("hits").as_number(), 1.0);
+  EXPECT_EQ(doc.at("cache").at("misses").as_number(), 1.0);
+  EXPECT_EQ(doc.at("cache").at("insertions").as_number(), 1.0);
+  EXPECT_GE(doc.at("server").at("admitted").as_number(), 2.0);
+  EXPECT_GE(doc.at("workspace_pool").at("leases").as_number(), 1.0);
+  EXPECT_GE(doc.at("runtime").at("executed").as_number(), 0.0);
+}
+
+// A replayed response is the same bytes as the computed one — the cache
+// is invisible in the payload (the determinism contract's cache clause).
+TEST(Serve, CacheReplayIsByteIdenticalIncludingCsv) {
+  ServerHarness harness(tiny_options("cachebytes"));
+  ServeClient client(harness.server().socket_path());
+
+  const std::string csv_request = [&] {
+    JsonWriter w(0);
+    w.begin_object();
+    w.field("id", std::uint64_t{3});
+    w.field("op", "run");
+    w.field("csv", true);
+    w.end_object();
+    return w.str();
+  }();
+  ASSERT_TRUE(client.send(csv_request));
+  const std::optional<std::string> cold = client.recv();
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_NE(cold->find("table_csv"), std::string::npos);
+
+  // Second client, same request: exact hit (the cache is per-daemon, not
+  // per-connection), byte-identical bytes, CSV replayed from the record.
+  ServeClient again(harness.server().socket_path());
+  ASSERT_TRUE(again.send(csv_request));
+  const std::optional<std::string> warm = again.recv();
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(*warm, *cold);
+
+  ASSERT_TRUE(again.send(stats_request(4)));
+  const std::optional<std::string> stats = again.recv();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(JsonValue::parse(*stats).at("cache").at("hits").as_number(),
+            1.0);
+}
+
+// With --no-cache semantics (enable_cache = false) the daemon still
+// answers identically — the cache only ever changes latency.
+TEST(Serve, DisabledCacheAnswersIdenticallyAndReportsDisabled) {
+  const BatchConfig workload = tiny_workload();
+  ServerOptions options = tiny_options("nocache");
+  options.enable_cache = false;
+  ServerHarness harness(std::move(options));
+  ServeClient client(harness.server().socket_path());
+
+  ASSERT_TRUE(client.send_run(2));
+  const std::optional<std::string> response = client.recv();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(*response, oracle_payload(workload, 2));
+
+  ASSERT_TRUE(client.send(stats_request(1)));
+  const std::optional<std::string> stats = client.recv();
+  ASSERT_TRUE(stats.has_value());
+  const JsonValue doc = JsonValue::parse(*stats);
+  EXPECT_FALSE(doc.at("cache_enabled").as_bool());
+  EXPECT_EQ(doc.at("cache").at("hits").as_number(), 0.0);
+}
+
+// Restarting the daemon over a warm persistent store serves every
+// repeated request as an exact (store) hit with identical bytes.
+TEST(Serve, RestartOverWarmStoreReplaysExactHits) {
+  namespace fs = std::filesystem;
+  const fs::path store =
+      fs::temp_directory_path() /
+      ("cps_serve_store_" + std::to_string(::getpid()));
+  fs::remove_all(store);
+  constexpr std::uint64_t kRequests = 4;
+
+  std::vector<std::string> first_run;
+  {
+    ServerOptions options = tiny_options("warmstore1");
+    options.cache.store_dir = store.string();
+    ServerHarness harness(std::move(options));
+    ServeClient client(harness.server().socket_path());
+    for (std::uint64_t id = 0; id < kRequests; ++id) {
+      ASSERT_TRUE(client.send_run(id));
+      const std::optional<std::string> response = client.recv();
+      ASSERT_TRUE(response.has_value());
+      first_run.push_back(*response);
+    }
+  }  // daemon drains; its in-memory tiers die with it
+
+  ServerOptions options = tiny_options("warmstore2");
+  options.cache.store_dir = store.string();
+  ServerHarness harness(std::move(options));
+  ServeClient client(harness.server().socket_path());
+  for (std::uint64_t id = 0; id < kRequests; ++id) {
+    ASSERT_TRUE(client.send_run(id));
+    const std::optional<std::string> response = client.recv();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(*response, first_run[id]) << "id " << id;
+  }
+  ASSERT_TRUE(client.send(stats_request(77)));
+  const std::optional<std::string> stats = client.recv();
+  ASSERT_TRUE(stats.has_value());
+  const JsonValue doc = JsonValue::parse(*stats);
+  EXPECT_EQ(doc.at("cache").at("hits").as_number(),
+            static_cast<double>(kRequests));
+  EXPECT_EQ(doc.at("cache").at("store_hits").as_number(),
+            static_cast<double>(kRequests));
+  harness.drain();
+  std::error_code ec;
+  fs::remove_all(store, ec);
 }
 
 }  // namespace

@@ -26,6 +26,14 @@ int main(int argc, char** argv) try {
                "deadline for requests without their own (0 = none)");
   cli.add_flag("overload", "shed-oldest",
                "overload policy: shed-oldest | reject-newest");
+  cli.add_flag("no-cache", "false",
+               "disable the daemon-wide schedule cache");
+  cli.add_flag("cache-dir", "",
+               "persistent schedule-cache directory (empty = memory only)");
+  cli.add_flag("cache-entries", "4096",
+               "in-memory exact-tier entry bound (whole-tier reset)");
+  cli.add_flag("cache-store-entries", "4096",
+               "persistent-tier entry bound (deterministic eviction)");
   // Workload definition (same knobs as bench_batch_throughput).
   cli.add_flag("nodes", "60", "processes per generated graph");
   cli.add_flag("paths", "10", "alternative paths per generated graph");
@@ -53,6 +61,11 @@ int main(int argc, char** argv) try {
     std::cerr << "unknown --overload value: " << overload << '\n';
     return 1;
   }
+
+  options.enable_cache = !cli.get_bool("no-cache");
+  options.cache.store_dir = cli.get_string("cache-dir");
+  options.cache.max_entries = cli.get_count("cache-entries", 1);
+  options.cache.store_max_entries = cli.get_count("cache-store-entries", 1);
 
   options.workload.base_seed =
       static_cast<std::uint64_t>(cli.get_count("seed", 0));
